@@ -1,0 +1,213 @@
+//! Roofline device models with the Table 5 machine constants.
+
+use crate::cost::{KernelCost, OpClass};
+
+/// An analytical CPU/GPU model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceModel {
+    /// Device name.
+    pub name: &'static str,
+    /// SIMD slots (Table 5: CPU 448, GPU 3840).
+    pub simd_slots: usize,
+    /// Core clock in hertz.
+    pub freq_hz: f64,
+    /// Achieved memory bandwidth in bytes/s.
+    pub mem_bw: f64,
+    /// Thermal design power in watts.
+    pub tdp_w: f64,
+    /// Average power while running the evaluated kernels, in watts
+    /// (the paper measures 81.3 W average across baselines, Fig. 14).
+    pub avg_power_w: f64,
+    /// Die area in mm² (Table 5).
+    pub area_mm2: f64,
+    /// Fixed overhead per kernel invocation (dispatch/launch), seconds.
+    pub launch_overhead_s: f64,
+    /// Host↔device copy bandwidth for accelerator-style use, bytes/s
+    /// (`None` when compute happens in host memory).
+    pub copy_bw: Option<f64>,
+}
+
+impl DeviceModel {
+    /// The two-socket Xeon E5-2697 v3 server (Table 5 CPU column).
+    ///
+    /// Memory bandwidth is a single socket's achieved stream bandwidth:
+    /// the paper's microbenchmarks (Fig. 7–9) show CPU throughput at the
+    /// one-socket roofline.
+    pub fn cpu() -> Self {
+        DeviceModel {
+            name: "CPU",
+            simd_slots: 448,
+            freq_hz: 3.6e9,
+            mem_bw: 68.0e9,
+            tdp_w: 290.0,
+            avg_power_w: 81.3,
+            area_mm2: 912.24,
+            launch_overhead_s: 2.0e-6,
+            copy_bw: None,
+        }
+    }
+
+    /// The Nvidia Titan XP (Table 5 GPU column): 3,840 CUDA lanes at
+    /// 1.58 GHz; ~450 GB/s achieved of the 547 GB/s peak; PCIe 3 ×16 for
+    /// accelerator-style copies.
+    pub fn gpu() -> Self {
+        DeviceModel {
+            name: "GPU",
+            simd_slots: 3840,
+            freq_hz: 1.58e9,
+            mem_bw: 450.0e9,
+            tdp_w: 250.0,
+            avg_power_w: 81.3,
+            area_mm2: 471.0,
+            launch_overhead_s: 10.0e-6,
+            copy_bw: Some(12.0e9),
+        }
+    }
+
+    /// Per-lane cycles for one operation of `op`.
+    ///
+    /// CPUs pay heavily for divisions and transcendentals even with
+    /// vector math libraries; GPU special-function units make them
+    /// cheaper (the Fig. 7 observation that GPU throughput *rises* for
+    /// unary transcendentals, helped by their lower memory traffic).
+    pub fn cycles_per_op(&self, op: OpClass) -> f64 {
+        match (self.name, op) {
+            (_, OpClass::Add | OpClass::Sub) => 1.0,
+            (_, OpClass::Mul) => 1.0,
+            ("CPU", OpClass::Div | OpClass::Sqrt) => 40.0,
+            ("CPU", OpClass::Exp | OpClass::Sigmoid) => 60.0,
+            ("GPU", OpClass::Div) => 10.0,
+            ("GPU", OpClass::Sqrt) => 8.0,
+            ("GPU", OpClass::Exp | OpClass::Sigmoid) => 8.0,
+            (_, OpClass::Div | OpClass::Sqrt | OpClass::Exp | OpClass::Sigmoid) => 16.0,
+            (_, OpClass::Compare | OpClass::Select | OpClass::Abs) => 1.0,
+            (_, OpClass::Move) => 0.5,
+            (_, OpClass::MacShared) => 1.0,
+            (_, OpClass::Reduce) => 1.0,
+        }
+    }
+
+    /// Effective SIMD slots available to `op`: simple arithmetic uses the
+    /// full vector width, but dividers and transcendental pipelines are
+    /// narrower (one per core on the CPU; the SFU quarter-rate path on
+    /// the GPU).
+    pub fn effective_slots(&self, op: OpClass) -> usize {
+        match (self.name, op) {
+            ("CPU", OpClass::Div | OpClass::Sqrt | OpClass::Exp | OpClass::Sigmoid) => 56,
+            ("GPU", OpClass::Div | OpClass::Sqrt | OpClass::Exp | OpClass::Sigmoid) => {
+                self.simd_slots / 4
+            }
+            _ => self.simd_slots,
+        }
+    }
+
+    /// Peak compute throughput for `op` in ops/s.
+    pub fn op_throughput(&self, op: OpClass) -> f64 {
+        self.effective_slots(op) as f64 * self.freq_hz / self.cycles_per_op(op)
+    }
+
+    /// Executes the roofline: time to process `instances` module
+    /// instances of a kernel with the given per-instance cost.
+    pub fn execute(&self, cost: &KernelCost, instances: usize) -> DeviceTime {
+        let n = instances as f64;
+        let compute_s: f64 = cost
+            .ops
+            .iter()
+            .map(|(&op, &count)| n * count / self.op_throughput(op))
+            .sum();
+        let bytes = n * (cost.bytes_in + cost.bytes_out);
+        let memory_s = bytes / self.mem_bw;
+        let copy_s = self.copy_bw.map_or(0.0, |bw| bytes / bw);
+        let kernel_s = compute_s.max(memory_s) + self.launch_overhead_s;
+        DeviceTime { compute_s, memory_s, copy_s, total_s: kernel_s + copy_s }
+    }
+
+    /// Energy for a run of `seconds` at the device's average power.
+    pub fn energy_j(&self, seconds: f64) -> f64 {
+        self.avg_power_w * seconds
+    }
+}
+
+/// Timing breakdown from the roofline model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceTime {
+    /// Pure compute time (all lanes busy).
+    pub compute_s: f64,
+    /// Memory streaming time.
+    pub memory_s: f64,
+    /// Host↔device copy time (accelerator-style devices).
+    pub copy_s: f64,
+    /// Wall-clock total.
+    pub total_s: f64,
+}
+
+impl DeviceTime {
+    /// Whether the run was bound by memory rather than compute.
+    pub fn memory_bound(&self) -> bool {
+        self.memory_s >= self.compute_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn streaming_cost(op: OpClass, bytes_in: f64, bytes_out: f64) -> KernelCost {
+        KernelCost { ops: HashMap::from([(op, 1.0)]), bytes_in, bytes_out }
+    }
+
+    #[test]
+    fn table5_constants() {
+        let cpu = DeviceModel::cpu();
+        assert_eq!(cpu.simd_slots, 448);
+        assert_eq!(cpu.freq_hz, 3.6e9);
+        assert_eq!(cpu.tdp_w, 290.0);
+        let gpu = DeviceModel::gpu();
+        assert_eq!(gpu.simd_slots, 3840);
+        assert_eq!(gpu.freq_hz, 1.58e9);
+        assert_eq!(gpu.area_mm2, 471.0);
+    }
+
+    #[test]
+    fn streaming_adds_are_memory_bound() {
+        // Vector add: 2 loads + 1 store of f32 per op.
+        let cost = streaming_cost(OpClass::Add, 8.0, 4.0);
+        let cpu = DeviceModel::cpu().execute(&cost, 10_000_000);
+        assert!(cpu.memory_bound());
+        let gpu = DeviceModel::gpu().execute(&cost, 10_000_000);
+        assert!(gpu.memory_bound());
+    }
+
+    #[test]
+    fn gpu_throughput_rises_for_unary_ops() {
+        // Fig. 7's observation: unary exp moves 8 B instead of 12 B per
+        // element, so the memory-bound GPU gets *faster* per op.
+        let gpu = DeviceModel::gpu();
+        let add = gpu.execute(&streaming_cost(OpClass::Add, 8.0, 4.0), 1 << 24);
+        let exp = gpu.execute(&streaming_cost(OpClass::Exp, 4.0, 4.0), 1 << 24);
+        assert!(exp.total_s < add.total_s);
+    }
+
+    #[test]
+    fn cpu_divisions_are_compute_bound() {
+        let cost = streaming_cost(OpClass::Div, 8.0, 4.0);
+        let t = DeviceModel::cpu().execute(&cost, 1 << 24);
+        assert!(!t.memory_bound());
+    }
+
+    #[test]
+    fn copy_overhead_only_for_accelerators() {
+        let cost = streaming_cost(OpClass::Add, 8.0, 4.0);
+        let cpu = DeviceModel::cpu().execute(&cost, 1 << 20);
+        assert_eq!(cpu.copy_s, 0.0);
+        let gpu = DeviceModel::gpu().execute(&cost, 1 << 20);
+        assert!(gpu.copy_s > 0.0);
+    }
+
+    #[test]
+    fn energy_tracks_average_power() {
+        let cpu = DeviceModel::cpu();
+        assert!((cpu.energy_j(2.0) - 162.6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,33 @@
+//! # imp-baselines — the CPU and GPU comparison points
+//!
+//! The paper compares IMP against an Intel Xeon E5-2697 v3 two-socket
+//! server and an Nvidia Titan XP (Table 5). Re-running those exact
+//! machines is not reproducible; following the substitution policy in
+//! DESIGN.md, this crate provides:
+//!
+//! * [`device`] — analytical roofline models parameterized with the
+//!   Table 5 machine constants (SIMD slots, frequency, memory bandwidth,
+//!   TDP/average power, kernel-launch and PCIe-copy overheads). The
+//!   paper's own Figure 7 analysis attributes baseline behaviour to
+//!   memory-bandwidth limits and data movement — exactly what a roofline
+//!   captures, so relative *shapes* (who wins, by what factor, where
+//!   unary ops help the GPU) are preserved;
+//! * [`cost`] — per-instance operation/byte counting over `imp-dfg`
+//!   graphs, the workload-independent input to the device models;
+//! * [`native`] — plain-Rust reference implementations of every Table 3
+//!   kernel, used as an independent functional cross-check of the graph
+//!   formulations (and of the interpreter itself);
+//! * [`application`] — Amdahl composition for whole-application PARSEC
+//!   results (Figure 12): kernel fraction, data-loading and non-kernel
+//!   components.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod application;
+pub mod cost;
+pub mod device;
+pub mod native;
+
+pub use cost::{KernelCost, OpClass};
+pub use device::{DeviceModel, DeviceTime};

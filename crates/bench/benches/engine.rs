@@ -1,0 +1,94 @@
+//! Criterion benches over the reproduction engine itself: the digit-level
+//! array model, the compiler pipeline, the chip simulator and the native
+//! baseline kernels. These measure *this implementation's* speed (useful
+//! for keeping the harness usable), not the modeled hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imp_compiler::OptPolicy;
+use imp_isa::{Addr, Instruction, RowMask};
+use imp_rram::{AnalogSpec, ReramArray};
+use imp_sim::{Machine, SimConfig};
+use imp_workloads::{all_workloads, workload};
+use std::hint::black_box;
+
+fn bench_array_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("array");
+    let mut array = ReramArray::new(AnalogSpec::prototype());
+    for row in 0..10 {
+        array.write_row_broadcast(row, (row as i32 + 1) * 1000);
+    }
+    let add2 = Instruction::Add { mask: RowMask::from_rows([0, 1]), dst: Addr::mem(20) };
+    group.bench_function("add_2ary", |b| {
+        b.iter(|| black_box(array.execute_local(black_box(&add2)).unwrap()))
+    });
+    let add10 = Instruction::Add { mask: (0..10).collect(), dst: Addr::mem(21) };
+    group.bench_function("add_10ary", |b| {
+        b.iter(|| black_box(array.execute_local(black_box(&add10)).unwrap()))
+    });
+    let mul = Instruction::Mul { a: Addr::mem(0), b: Addr::mem(1), dst: Addr::mem(22) };
+    group.bench_function("mul_streamed", |b| {
+        b.iter(|| black_box(array.execute_local(black_box(&mul)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(10);
+    for w in all_workloads() {
+        group.bench_with_input(BenchmarkId::from_parameter(w.name), &w, |b, w| {
+            b.iter(|| black_box(w.compile(1 << 16, OptPolicy::MaxDlp).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    for name in ["blackscholes", "kmeans", "streamcluster"] {
+        let w = workload(name).unwrap();
+        let n = 64;
+        let kernel = w.compile(n, OptPolicy::MaxDlp).unwrap();
+        let inputs = w.inputs(n, 5);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut machine = Machine::new(SimConfig::functional());
+                black_box(machine.run(black_box(&kernel), black_box(&inputs)).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_native(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native");
+    let n = 4096;
+    let w = workload("blackscholes").unwrap();
+    let inputs = w.inputs(n, 5);
+    group.bench_function("blackscholes_host", |b| {
+        b.iter(|| {
+            black_box(imp_baselines::native::blackscholes(
+                black_box(inputs["spot"].data()),
+                black_box(inputs["strike"].data()),
+                black_box(inputs["time"].data()),
+                0.05,
+                0.30,
+            ))
+        })
+    });
+    let sc = workload("streamcluster").unwrap().inputs(n, 5);
+    group.bench_function("streamcluster_host", |b| {
+        b.iter(|| {
+            black_box(imp_baselines::native::streamcluster(
+                black_box(sc["points"].data()),
+                40,
+                n,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_array_ops, bench_compile, bench_simulate, bench_native);
+criterion_main!(benches);

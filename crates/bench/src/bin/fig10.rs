@@ -1,0 +1,73 @@
+//! Figure 10: per-operation energy of CPU, GPU and IMP microbenchmarks.
+//!
+//! Paper anchor: IMP's energy per simple op is far below the baselines,
+//! but complex operations (long latency + ADC-heavy) can consume *more*
+//! energy than the GPU — "the instruction mix of the application will
+//! determine the energy efficiency of the IMP architecture".
+
+use imp_baselines::device::DeviceModel;
+use imp_baselines::KernelCost;
+use imp_bench::{emit, header, microbench};
+use imp_dfg::{Shape, Tensor};
+use imp_sim::{Machine, SimConfig};
+use std::collections::HashMap;
+
+fn main() {
+    header("Figure 10 — Energy per operation (J/op, log scale)");
+    let cpu = DeviceModel::cpu();
+    let gpu = DeviceModel::gpu();
+    let n_measure = 256;
+    let n_big = 1 << 24;
+
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>11} {:>11}",
+        "op", "CPU", "GPU", "IMP", "IMP/CPU", "GPU/IMP"
+    );
+    for op in microbench::OPS {
+        // IMP: measure real energy functionally, per operation.
+        let kernel = microbench::kernel(op, n_measure);
+        let mut inputs: HashMap<String, Tensor> = HashMap::new();
+        inputs.insert(
+            "x".to_string(),
+            Tensor::from_fn(Shape::vector(n_measure), |i| 0.6 + (i % 50) as f64 / 60.0),
+        );
+        inputs.insert(
+            "y".to_string(),
+            Tensor::from_fn(Shape::vector(n_measure), |i| 0.6 + (i % 40) as f64 / 50.0),
+        );
+        let mut machine = Machine::new(SimConfig::functional());
+        let report = machine.run(&kernel, &inputs).expect("microbenchmark runs");
+        let imp_j = report.energy.total_j() / n_measure as f64;
+
+        // Baselines: average power × roofline time.
+        let (bytes_in, bytes_out) = microbench::bytes(op);
+        let cost = KernelCost {
+            ops: HashMap::from([(microbench::op_class(op), 1.0)]),
+            bytes_in,
+            bytes_out,
+        };
+        let cpu_j = cpu.energy_j(cpu.execute(&cost, n_big).total_s) / n_big as f64;
+        let gpu_time = {
+            let t = gpu.execute(&cost, n_big);
+            t.total_s - t.copy_s
+        };
+        let gpu_j = gpu.energy_j(gpu_time) / n_big as f64;
+        println!(
+            "{:<6} {:>12.3e} {:>12.3e} {:>12.3e} {:>10.1}× {:>10.2}×",
+            op,
+            cpu_j,
+            gpu_j,
+            imp_j,
+            cpu_j / imp_j,
+            gpu_j / imp_j
+        );
+        emit("fig10", "cpu", op, cpu_j);
+        emit("fig10", "gpu", op, gpu_j);
+        emit("fig10", "imp", op, imp_j);
+    }
+    println!(
+        "\nshape check: IMP wins big on add/mul; the advantage shrinks (and can\n\
+         invert vs GPU) for div/sqrt/exp, whose iterative lowering keeps the\n\
+         ADCs busy for tens of cycles — the paper's Fig. 10 observation."
+    );
+}

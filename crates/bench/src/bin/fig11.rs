@@ -1,0 +1,46 @@
+//! Figure 11: kernel speedup of IMP over each workload's suite baseline —
+//! PARSEC kernels versus the CPU, Rodinia kernels versus the GPU.
+//!
+//! Paper anchors: 41× average over the CPU kernels, 763× over the GPU
+//! kernels; kmeans is the laggard (23×) because its distance chains
+//! serialize multiplications.
+
+use imp_baselines::application::geomean;
+use imp_bench::{emit, header, kernel_speedup};
+use imp_compiler::OptPolicy;
+use imp_workloads::all_workloads;
+
+fn main() {
+    header("Figure 11 — Kernel speedup over the suite baseline");
+    println!(
+        "{:<18} {:<8} {:>12} {:>14} {:>10}",
+        "benchmark", "suite", "IMP (s)", "baseline (s)", "speedup"
+    );
+    let mut parsec = Vec::new();
+    let mut rodinia = Vec::new();
+    for w in all_workloads() {
+        let (speedup, imp_s, base_s) = kernel_speedup(&w, OptPolicy::MaxArrayUtil);
+        println!(
+            "{:<18} {:<8} {:>12.4e} {:>14.4e} {:>9.1}×",
+            w.name,
+            w.suite.name(),
+            imp_s,
+            base_s,
+            speedup
+        );
+        emit("fig11", w.name, "speedup", speedup);
+        if w.suite.name() == "PARSEC" {
+            parsec.push(speedup);
+        } else {
+            rodinia.push(speedup);
+        }
+    }
+    let parsec_mean = geomean(&parsec);
+    let rodinia_mean = geomean(&rodinia);
+    println!("{:-<66}", "");
+    println!("PARSEC kernels vs CPU  (geomean): {parsec_mean:7.1}×   (paper: 41×)");
+    println!("Rodinia kernels vs GPU (geomean): {rodinia_mean:7.1}×   (paper: 763×)");
+    emit("fig11", "geomean", "parsec_vs_cpu", parsec_mean);
+    emit("fig11", "geomean", "rodinia_vs_gpu", rodinia_mean);
+    assert!(parsec_mean > 1.0 && rodinia_mean > 1.0);
+}

@@ -1,0 +1,71 @@
+//! Figure 13: application energy consumption — IMP versus the suite
+//! baselines.
+//!
+//! Paper anchors: 7.5× energy efficiency for the CPU (PARSEC) benchmarks
+//! (whole application, so Amdahl applies to energy too) and 440× for the
+//! GPU (Rodinia) kernels.
+
+use imp_baselines::application::{geomean, parsec_profiles};
+use imp_bench::{baseline_for, emit, header, measure, workload_cost};
+use imp_compiler::OptPolicy;
+use imp_workloads::all_workloads;
+
+fn main() {
+    header("Figure 13 — Application energy (J, paper scale)");
+    println!(
+        "{:<18} {:<8} {:>12} {:>12} {:>12}",
+        "benchmark", "suite", "IMP (J)", "baseline (J)", "ratio"
+    );
+    let mut parsec_ratio = Vec::new();
+    let mut rodinia_ratio = Vec::new();
+    for w in all_workloads() {
+        let n = w.paper_instances;
+        // IMP kernel energy at paper scale: measured per-instance energy
+        // scaled by the instance count.
+        let (energy_per_instance, _) = measure(&w, 128, OptPolicy::MaxArrayUtil);
+        let imp_kernel_j = energy_per_instance * n as f64;
+        let device = baseline_for(&w);
+        let base_s = device.execute(&workload_cost(&w), n).total_s;
+        let base_kernel_j = device.energy_j(base_s);
+
+        let (imp_j, base_j) = if w.suite.name() == "PARSEC" {
+            // Whole application: non-kernel time runs on the CPU for both.
+            let profile = parsec_profiles()
+                .into_iter()
+                .find(|p| p.name == w.name)
+                .expect("profile exists");
+            let base_total_s = base_s / profile.kernel_fraction;
+            let non_kernel_s = base_total_s - base_s;
+            (
+                imp_kernel_j + device.energy_j(non_kernel_s),
+                device.energy_j(base_total_s),
+            )
+        } else {
+            (imp_kernel_j, base_kernel_j)
+        };
+        let ratio = base_j / imp_j;
+        println!(
+            "{:<18} {:<8} {:>12.4e} {:>12.4e} {:>11.1}×",
+            w.name,
+            w.suite.name(),
+            imp_j,
+            base_j,
+            ratio
+        );
+        emit("fig13", w.name, "imp_j", imp_j);
+        emit("fig13", w.name, "baseline_j", base_j);
+        emit("fig13", w.name, "ratio", ratio);
+        if w.suite.name() == "PARSEC" {
+            parsec_ratio.push(ratio);
+        } else {
+            rodinia_ratio.push(ratio);
+        }
+    }
+    let p = geomean(&parsec_ratio);
+    let r = geomean(&rodinia_ratio);
+    println!("{:-<68}", "");
+    println!("PARSEC  energy efficiency (geomean): {p:7.1}×   (paper: 7.5×)");
+    println!("Rodinia energy efficiency (geomean): {r:7.1}×   (paper: 440×)");
+    emit("fig13", "geomean", "parsec", p);
+    emit("fig13", "geomean", "rodinia", r);
+}

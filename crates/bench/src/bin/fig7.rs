@@ -1,0 +1,60 @@
+//! Figure 7: operation throughput (log scale) of CPU, GPU and IMP for
+//! add / mul / div / sqrt / exp microbenchmarks.
+//!
+//! Paper anchors: addition peaks at 2,460× CPU and 374× GPU; gains shrink
+//! for complex operations; GPU throughput *rises* for unary ops (less
+//! memory traffic).
+
+use imp_baselines::device::DeviceModel;
+use imp_baselines::KernelCost;
+use imp_bench::{emit, header, microbench};
+use imp_compiler::ChipCapacity;
+use std::collections::HashMap;
+
+fn main() {
+    header("Figure 7 — Operation throughput (ops/s, log scale)");
+    let cap = ChipCapacity::paper();
+    let cpu = DeviceModel::cpu();
+    let gpu = DeviceModel::gpu();
+    let n = 1 << 24;
+
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>11} {:>11}",
+        "op", "CPU", "GPU", "IMP", "IMP/CPU", "IMP/GPU"
+    );
+    for op in microbench::OPS {
+        let kernel = microbench::kernel(op, n);
+        let imp_tp = cap.simd_slots() as f64 / kernel.module_latency() as f64
+            * imp_rram::ARRAY_CLOCK_HZ;
+        let (bytes_in, bytes_out) = microbench::bytes(op);
+        let cost = KernelCost {
+            ops: HashMap::from([(microbench::op_class(op), 1.0)]),
+            bytes_in,
+            bytes_out,
+        };
+        let cpu_tp = n as f64 / cpu.execute(&cost, n).total_s;
+        let gpu_kernel_s = {
+            // Device-resident data: kernel time without PCIe copies
+            // (the paper's GPU microbenchmarks run on device memory).
+            let t = gpu.execute(&cost, n);
+            t.total_s - t.copy_s
+        };
+        let gpu_tp = n as f64 / gpu_kernel_s;
+        println!(
+            "{:<6} {:>12.3e} {:>12.3e} {:>12.3e} {:>10.0}× {:>10.0}×",
+            op,
+            cpu_tp,
+            gpu_tp,
+            imp_tp,
+            imp_tp / cpu_tp,
+            imp_tp / gpu_tp
+        );
+        emit("fig7", "cpu", op, cpu_tp);
+        emit("fig7", "gpu", op, gpu_tp);
+        emit("fig7", "imp", op, imp_tp);
+    }
+    println!(
+        "\nshape check: add gains largest (paper 2460× CPU / 374× GPU), complex\n\
+         ops smaller; simple-op baselines memory-bound, CPU div/exp compute-bound."
+    );
+}

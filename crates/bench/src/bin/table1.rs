@@ -1,0 +1,85 @@
+//! Table 1: the in-memory compute ISA and its instruction latencies.
+
+use imp_bench::{emit, header};
+use imp_isa::{Addr, GlobalAddr, Imm, Instruction, LaneMask, Latency, RowMask};
+
+fn main() {
+    header("Table 1 — In-Memory Compute ISA");
+    println!("{:<12} {:<38} {:>8}", "opcode", "format", "cycles");
+    let rows: Vec<(Instruction, &str)> = vec![
+        (
+            Instruction::Add { mask: RowMask::from_rows([0, 1]), dst: Addr::mem(2) },
+            "add <mask><dst>",
+        ),
+        (
+            Instruction::Dot {
+                mask: RowMask::from_rows([0, 1]),
+                reg_mask: RowMask::from_rows([0, 1]),
+                dst: Addr::mem(2),
+            },
+            "dot <mask><reg_mask><dst>",
+        ),
+        (
+            Instruction::Mul { a: Addr::mem(0), b: Addr::mem(1), dst: Addr::mem(2) },
+            "mul <src><src><dst>",
+        ),
+        (
+            Instruction::Sub {
+                minuend: RowMask::from_rows([0]),
+                subtrahend: RowMask::from_rows([1]),
+                dst: Addr::mem(2),
+            },
+            "sub <mask><mask><dst>",
+        ),
+        (
+            Instruction::ShiftL { src: Addr::mem(0), dst: Addr::mem(1), amount: 1 },
+            "shiftl <src><dst><imm>",
+        ),
+        (
+            Instruction::ShiftR { src: Addr::mem(0), dst: Addr::mem(1), amount: 1 },
+            "shiftr <src><dst><imm>",
+        ),
+        (
+            Instruction::Mask { src: Addr::mem(0), dst: Addr::mem(1), imm: 0xff },
+            "mask <src><dst><imm>",
+        ),
+        (Instruction::Mov { src: Addr::mem(0), dst: Addr::mem(1) }, "mov <src><dst>"),
+        (
+            Instruction::Movs {
+                src: Addr::mem(0),
+                dst: Addr::mem(1),
+                lane_mask: LaneMask::ALL,
+            },
+            "movs <src><dst><mask>",
+        ),
+        (
+            Instruction::Movi { dst: Addr::mem(0), imm: Imm::broadcast(0) },
+            "movi <dst><imm>",
+        ),
+        (
+            Instruction::Movg {
+                src: GlobalAddr::new(0, 0, 0),
+                dst: GlobalAddr::new(1, 0, 0),
+            },
+            "movg <gaddr><gaddr>",
+        ),
+        (Instruction::Lut { src: Addr::mem(0), dst: Addr::mem(1) }, "lut <src><dst>"),
+        (
+            Instruction::ReduceSum { src: Addr::mem(0), dst: GlobalAddr::new(0, 63, 0) },
+            "reduce_sum <src><gaddr>",
+        ),
+    ];
+    for (inst, format) in &rows {
+        let latency = match inst.latency() {
+            Latency::Fixed(c) => c.to_string(),
+            Latency::Variable => "variable".to_string(),
+        };
+        println!("{:<12} {:<38} {:>8}", inst.opcode().mnemonic(), format, latency);
+        if let Latency::Fixed(c) = inst.latency() {
+            emit("table1", inst.opcode().mnemonic(), "cycles", f64::from(c));
+        }
+        let encoded = inst.encode().len();
+        assert!(encoded <= Instruction::MAX_ENCODED_LEN);
+    }
+    println!("\n13 instructions; encodings ≤ {} bytes.", Instruction::MAX_ENCODED_LEN);
+}

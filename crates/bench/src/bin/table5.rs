@@ -1,0 +1,58 @@
+//! Table 5: system comparison — CPU (2-socket Xeon), GPU (Titan XP) and
+//! the in-memory processor.
+
+use imp_baselines::device::DeviceModel;
+use imp_bench::{emit, header};
+use imp_compiler::ChipCapacity;
+use imp_sim::energy;
+
+fn main() {
+    header("Table 5 — CPU / GPU / IMP comparison");
+    let cpu = DeviceModel::cpu();
+    let gpu = DeviceModel::gpu();
+    let imp = ChipCapacity::paper();
+    let imp_tdp = energy::chip_tdp_w(imp.tiles);
+    let imp_area = energy::chip_area_mm2(imp.tiles);
+
+    println!("{:<14} {:>16} {:>16} {:>16}", "parameter", "CPU (2-socket)", "GPU (1 card)", "IMP");
+    println!(
+        "{:<14} {:>16} {:>16} {:>16}",
+        "SIMD slots", cpu.simd_slots, gpu.simd_slots, imp.simd_slots()
+    );
+    println!(
+        "{:<14} {:>13.2} GHz {:>13.2} GHz {:>13.2} MHz",
+        "frequency",
+        cpu.freq_hz / 1e9,
+        gpu.freq_hz / 1e9,
+        imp_rram::ARRAY_CLOCK_HZ / 1e6
+    );
+    println!(
+        "{:<14} {:>12.1} mm² {:>12.1} mm² {:>12.1} mm²",
+        "area", cpu.area_mm2, gpu.area_mm2, imp_area
+    );
+    println!("{:<14} {:>14.0} W {:>14.0} W {:>14.0} W", "TDP", cpu.tdp_w, gpu.tdp_w, imp_tdp);
+    println!(
+        "{:<14} {:>16} {:>16} {:>13} GB",
+        "memory",
+        "64 GB DRAM",
+        "12 GB GDDR5X",
+        imp.memory_bytes() >> 30
+    );
+
+    println!("\nderived ratios (paper: 546× GPU slots, 4681× CPU slots; 80×/180× clock):");
+    let slots_vs_gpu = imp.simd_slots() as f64 / gpu.simd_slots as f64;
+    let slots_vs_cpu = imp.simd_slots() as f64 / cpu.simd_slots as f64;
+    let clock_vs_gpu = gpu.freq_hz / imp_rram::ARRAY_CLOCK_HZ;
+    let clock_vs_cpu = cpu.freq_hz / imp_rram::ARRAY_CLOCK_HZ;
+    println!("  IMP slots vs GPU : {slots_vs_gpu:.0}×");
+    println!("  IMP slots vs CPU : {slots_vs_cpu:.0}×");
+    println!("  GPU clock vs IMP : {clock_vs_gpu:.0}×");
+    println!("  CPU clock vs IMP : {clock_vs_cpu:.0}×");
+    emit("table5", "imp", "simd_slots", imp.simd_slots() as f64);
+    emit("table5", "imp", "tdp_w", imp_tdp);
+    emit("table5", "imp", "area_mm2", imp_area);
+    emit("table5", "ratio", "slots_vs_gpu", slots_vs_gpu);
+    emit("table5", "ratio", "slots_vs_cpu", slots_vs_cpu);
+    emit("table5", "ratio", "clock_vs_gpu", clock_vs_gpu);
+    emit("table5", "ratio", "clock_vs_cpu", clock_vs_cpu);
+}

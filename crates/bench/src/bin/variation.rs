@@ -1,0 +1,59 @@
+//! Process-variation study (§6): the paper conservatively limits ReRAM
+//! cells to two levels because "strong non-uniform analog resistance due
+//! to process variation makes it challenging to program ReRAM for analog
+//! convolution, resulting in convolution errors".
+//!
+//! This harness quantifies the other side of that trade: it injects ±1-LSB
+//! ADC conversion noise at increasing probability and measures the
+//! Black–Scholes output error against the exact (noise-free) simulation,
+//! showing how quickly residual analog variation corrupts general-purpose
+//! results — the justification for the conservative 2-level operating
+//! point.
+
+use imp_bench::{emit, header};
+use imp_rram::AnalogSpec;
+use imp_sim::{Machine, SimConfig};
+use imp_workloads::workload;
+
+fn main() {
+    header("Process-variation sweep — Black–Scholes error vs ADC noise probability");
+    let n = 128;
+    let w = workload("blackscholes").expect("registered workload");
+    let kernel = w.compile(n, imp_compiler::OptPolicy::MaxDlp).expect("compiles");
+    let inputs = w.inputs(n, 2026);
+    let (_, outputs, _) = w.build(n);
+    let call = outputs[0];
+
+    // Noise-free reference.
+    let mut machine = Machine::new(SimConfig::functional());
+    let clean = machine.run(&kernel, &inputs).expect("clean run");
+    let reference = clean.outputs[&call].clone();
+
+    println!("{:<14} {:>14} {:>14}", "noise prob", "worst |err| $", "mean |err| $");
+    for &p in &[0.0f64, 1e-6, 1e-4, 1e-3, 1e-2] {
+        let mut config = SimConfig::functional();
+        config.analog = AnalogSpec { noise_prob: p, ..AnalogSpec::prototype() };
+        let mut machine = Machine::new(config);
+        let report = machine.run(&kernel, &inputs).expect("noisy run");
+        let noisy = &report.outputs[&call];
+        let mut worst = 0.0f64;
+        let mut total = 0.0f64;
+        for (&a, &b) in noisy.data().iter().zip(reference.data()) {
+            let err = (a - b).abs();
+            worst = worst.max(err);
+            total += err;
+        }
+        let mean = total / n as f64;
+        println!("{:<14.0e} {:>14.4} {:>14.5}", p, worst, mean);
+        emit("variation", "worst_err", p, worst);
+        emit("variation", "mean_err", p, mean);
+        if p == 0.0 {
+            assert_eq!(worst, 0.0, "zero noise must be bit-exact vs reference");
+        }
+    }
+    println!(
+        "\nerrors stay at zero without residual variation (the 2-level operating\n\
+         point) and grow superlinearly with conversion noise — mis-read partial\n\
+         sums are power-of-four weighted and feed the Newton–Raphson chains."
+    );
+}

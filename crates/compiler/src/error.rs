@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Errors produced while compiling a data-flow graph to the in-memory ISA.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The graph mixes tensors whose parallel dimensions disagree.
+    InconsistentParallelism(String),
+    /// A node form is outside the supported restrictions (Table 2
+    /// footnote: MatMul/Conv2D/Tensordot/Reshape have dimensional
+    /// restrictions; runtime-indexed gathers should be resolved host-side,
+    /// §3).
+    Unsupported(String),
+    /// A lowering needed a declared value range for an input and none was
+    /// provided (division, sqrt, exp, sigmoid are LUT-seeded over the
+    /// operand's dynamic range).
+    MissingRange(String),
+    /// The declared range is invalid for the operation (e.g. a divisor
+    /// interval containing zero).
+    BadRange(String),
+    /// The module needs more array rows than a 128-row array provides,
+    /// even after liveness-based reuse.
+    OutOfRows {
+        /// Instruction block that overflowed.
+        ib: usize,
+        /// Rows the block needed at peak.
+        needed: usize,
+    },
+    /// The module needs more registers than the cluster register file
+    /// provides.
+    OutOfRegisters {
+        /// Instruction block that overflowed.
+        ib: usize,
+        /// Registers the block needed.
+        needed: usize,
+    },
+    /// A graph error surfaced during compilation.
+    Graph(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InconsistentParallelism(msg) => {
+                write!(f, "inconsistent data-parallel dimensions: {msg}")
+            }
+            CompileError::Unsupported(msg) => write!(f, "unsupported graph form: {msg}"),
+            CompileError::MissingRange(name) => {
+                write!(f, "lowering requires a declared value range for `{name}`")
+            }
+            CompileError::BadRange(msg) => write!(f, "invalid value range: {msg}"),
+            CompileError::OutOfRows { ib, needed } => {
+                write!(f, "instruction block {ib} needs {needed} rows; arrays have 128")
+            }
+            CompileError::OutOfRegisters { ib, needed } => {
+                write!(f, "instruction block {ib} needs {needed} registers; clusters have 128")
+            }
+            CompileError::Graph(msg) => write!(f, "graph error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<imp_dfg::DfgError> for CompileError {
+    fn from(err: imp_dfg::DfgError) -> Self {
+        CompileError::Graph(err.to_string())
+    }
+}

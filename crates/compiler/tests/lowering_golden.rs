@@ -1,0 +1,190 @@
+//! Golden tests over the lowering: exact instruction shapes for the §5.1
+//! iterative algorithms and §3 control flow, plus the wear-leveling
+//! rotation of §7.5.
+
+use imp_compiler::{compile, CompileOptions, OptPolicy};
+use imp_dfg::range::Interval;
+use imp_dfg::{GraphBuilder, Shape};
+use imp_isa::{Addr, Instruction, LaneMask, Opcode, MASK_REGISTER};
+
+fn single_ib(
+    build: impl FnOnce(&mut GraphBuilder) -> imp_dfg::NodeId,
+    ranges: &[(&str, f64, f64)],
+) -> Vec<Instruction> {
+    let mut g = GraphBuilder::new();
+    let out = build(&mut g);
+    g.fetch(out);
+    let mut options = CompileOptions { policy: OptPolicy::MaxDlp, ..Default::default() };
+    for &(name, lo, hi) in ranges {
+        options.ranges.insert(name.into(), Interval::new(lo, hi));
+    }
+    let kernel = compile(&g.finish(), &options).unwrap();
+    assert_eq!(kernel.ibs.len(), 1);
+    kernel.ibs[0].block.instructions().to_vec()
+}
+
+fn opcodes(insts: &[Instruction]) -> Vec<Opcode> {
+    insts.iter().map(|i| i.opcode()).collect()
+}
+
+#[test]
+fn division_is_lut_seeded_newton_raphson() {
+    let insts = single_ib(
+        |g| {
+            let a = g.placeholder("a", Shape::vector(64)).unwrap();
+            let b = g.placeholder("b", Shape::vector(64)).unwrap();
+            g.div(a, b).unwrap()
+        },
+        &[("a", -4.0, 4.0), ("b", 0.5, 2.0)],
+    );
+    let ops = opcodes(&insts);
+    // Index prep (sub lo + shiftr), one LUT read, seed scaling, then the
+    // x·(2−b·x) pattern twice (mul sub mul), then the final multiply.
+    assert_eq!(ops.iter().filter(|&&o| o == Opcode::Lut).count(), 1);
+    assert_eq!(ops.iter().filter(|&&o| o == Opcode::Mul).count(), 2 * 2 + 1);
+    assert!(ops.iter().filter(|&&o| o == Opcode::Sub).count() >= 3); // lo + 2 NR
+    // LUT comes before every multiply (the seed initiates the iteration).
+    let lut_at = ops.iter().position(|&o| o == Opcode::Lut).unwrap();
+    let first_mul = ops.iter().position(|&o| o == Opcode::Mul).unwrap();
+    assert!(lut_at < first_mul);
+}
+
+#[test]
+fn less_is_sign_extraction() {
+    let insts = single_ib(
+        |g| {
+            let a = g.placeholder("a", Shape::vector(64)).unwrap();
+            let b = g.placeholder("b", Shape::vector(64)).unwrap();
+            g.less(a, b).unwrap()
+        },
+        &[],
+    );
+    // sub (a−b), arithmetic shiftr #31, mask with fixed-point 1.0.
+    let ops = opcodes(&insts);
+    assert_eq!(ops, vec![Opcode::Sub, Opcode::ShiftR, Opcode::Mask]);
+    match insts[1] {
+        Instruction::ShiftR { amount, .. } => assert_eq!(amount, 31),
+        ref other => panic!("expected shiftr, got {other}"),
+    }
+    match insts[2] {
+        Instruction::Mask { imm, .. } => assert_eq!(imm, 1 << 16),
+        ref other => panic!("expected mask, got {other}"),
+    }
+}
+
+#[test]
+fn select_uses_the_mask_register() {
+    let insts = single_ib(
+        |g| {
+            let c = g.placeholder("c", Shape::vector(64)).unwrap();
+            let a = g.placeholder("a", Shape::vector(64)).unwrap();
+            let b = g.placeholder("b", Shape::vector(64)).unwrap();
+            g.select(c, a, b).unwrap()
+        },
+        &[],
+    );
+    // mov cond → r127; mov b → dst; movs a → dst (dynamic).
+    assert!(insts.iter().any(|i| matches!(
+        i,
+        Instruction::Mov { dst, .. } if *dst == Addr::reg(MASK_REGISTER)
+    )));
+    assert!(insts.iter().any(|i| matches!(
+        i,
+        Instruction::Movs { lane_mask, .. } if *lane_mask == LaneMask::DYNAMIC
+    )));
+}
+
+#[test]
+fn abs_negates_through_current_drain() {
+    let insts = single_ib(
+        |g| {
+            let x = g.placeholder("x", Shape::vector(64)).unwrap();
+            g.abs(x).unwrap()
+        },
+        &[],
+    );
+    // Negation is a sub with an *empty minuend* mask — pure drain.
+    assert!(insts.iter().any(|i| matches!(
+        i,
+        Instruction::Sub { minuend, .. } if minuend.is_empty()
+    )));
+    // Predicated by the sign word via the mask register.
+    assert!(insts.iter().any(|i| matches!(
+        i,
+        Instruction::ShiftR { amount: 31, .. }
+    )));
+}
+
+#[test]
+fn nary_add_respects_adc_cap_in_code() {
+    let insts = single_ib(
+        |g| {
+            let x = g.placeholder("x", Shape::new(vec![16, 64])).unwrap();
+            g.sum(x, 0).unwrap()
+        },
+        &[],
+    );
+    for inst in &insts {
+        assert!(
+            inst.nary_operands() <= 10,
+            "instruction {inst} exceeds the 5-bit-ADC operand cap"
+        );
+    }
+    // Merging should have produced at least one wide (>2 operand) add.
+    assert!(insts.iter().any(|i| i.nary_operands() > 2));
+}
+
+#[test]
+fn wear_leveling_rotates_rows() {
+    // A long chain of dependent ops: liveness frees rows immediately, but
+    // the round-robin cursor must keep touching fresh rows rather than
+    // hammering one (§7.5: "assigning and using ReRAM rows in a
+    // round-robin manner").
+    let insts = single_ib(
+        |g| {
+            let x = g.placeholder("x", Shape::vector(64)).unwrap();
+            let mut cur = x;
+            for _ in 0..20 {
+                let one = g.scalar(1.0);
+                let t = g.add(cur, one).unwrap();
+                cur = g.mul(t, t).unwrap();
+            }
+            cur
+        },
+        &[],
+    );
+    let mut rows_written: Vec<u8> = insts
+        .iter()
+        .filter_map(|i| match i.local_dst() {
+            Some(Addr::Mem(row)) => Some(row),
+            _ => None,
+        })
+        .collect();
+    let writes = rows_written.len();
+    rows_written.sort_unstable();
+    rows_written.dedup();
+    assert!(
+        rows_written.len() * 2 > writes,
+        "row reuse too aggressive for wear leveling: {} distinct rows over {} writes",
+        rows_written.len(),
+        writes
+    );
+}
+
+#[test]
+fn movi_materializes_each_constant_once() {
+    let insts = single_ib(
+        |g| {
+            let x = g.placeholder("x", Shape::vector(64)).unwrap();
+            let c = g.scalar(3.5);
+            let a = g.mul(x, c).unwrap();
+            let c2 = g.scalar(3.5);
+            let b = g.add(a, c2).unwrap();
+            let c3 = g.scalar(3.5);
+            g.sub(b, c3).unwrap()
+        },
+        &[],
+    );
+    let movis = insts.iter().filter(|i| i.opcode() == Opcode::Movi).count();
+    assert_eq!(movis, 1, "3.5 must be deduplicated to one movi");
+}

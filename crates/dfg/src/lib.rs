@@ -1,0 +1,57 @@
+//! # imp-dfg — TensorFlow-like data-flow graphs
+//!
+//! The programming front-end of the ASPLOS'18 *In-Memory Data Parallel
+//! Processor* is Google's TensorFlow: programmers express kernels as
+//! data-flow graphs (DFGs) whose nodes operate on tensors (§3). This crate
+//! reproduces that abstraction natively in Rust:
+//!
+//! * [`Shape`] / [`Tensor`] — multi-dimensional value containers;
+//! * [`Op`] — the supported node vocabulary, exactly the Table 2 set
+//!   (input nodes `Const`/`Placeholder`/`Variable`; arithmetic from `Abs`
+//!   to `Tensordot`; control flow `Select`, `Gather`, `Pack`, `Assign`…);
+//! * [`Graph`] / [`GraphBuilder`] — graph construction with eager shape
+//!   inference and validation;
+//! * [`interp`] — a host (f64) reference interpreter that provides golden
+//!   outputs for validating compiled in-memory execution;
+//! * [`range`] — the dynamic-range analysis tool the paper describes in
+//!   §2.3 ("a testing tool that can calculate the dynamic range of the
+//!   input that assures the required precision") via interval arithmetic.
+//!
+//! ## Example
+//!
+//! ```
+//! use imp_dfg::{GraphBuilder, Shape, Tensor, interp::Interpreter};
+//!
+//! // y = a*x + b, elementwise over a vector of 4 elements.
+//! let mut g = GraphBuilder::new();
+//! let x = g.placeholder("x", Shape::vector(4)).unwrap();
+//! let a = g.constant(Tensor::scalar(3.0)).unwrap();
+//! let b = g.constant(Tensor::scalar(1.0)).unwrap();
+//! let ax = g.mul(a, x).unwrap();
+//! let y = g.add(ax, b).unwrap();
+//! g.fetch(y);
+//! let graph = g.finish();
+//!
+//! let mut interp = Interpreter::new(&graph);
+//! interp.feed("x", Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], Shape::vector(4)).unwrap());
+//! let outputs = interp.run().unwrap();
+//! assert_eq!(outputs[&y].data(), &[1.0, 4.0, 7.0, 10.0]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod graph;
+pub mod interp;
+mod op;
+pub mod range;
+mod shape;
+mod tensor;
+pub mod textfmt;
+
+pub use error::DfgError;
+pub use graph::{Graph, GraphBuilder, Node, NodeId};
+pub use op::{BinaryOp, Op, ReduceOp, UnaryOp};
+pub use shape::Shape;
+pub use tensor::Tensor;

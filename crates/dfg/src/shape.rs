@@ -1,0 +1,207 @@
+//! Tensor shapes.
+
+use std::fmt;
+
+/// The shape of a tensor: a list of dimension sizes, outermost first.
+///
+/// A rank-0 shape is a scalar with one element. TensorFlow-style
+/// broadcasting is deliberately restricted (as in the paper's programming
+/// model): two shapes are operand-compatible if they are equal, one is a
+/// scalar, or one is a leading prefix of the other (broadcast over the
+/// trailing, data-parallel axes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// The scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// A rank-1 shape of `len` elements.
+    pub fn vector(len: usize) -> Self {
+        Shape(vec![len])
+    }
+
+    /// A rank-2 shape.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Shape(vec![rows, cols])
+    }
+
+    /// A shape from explicit dimensions.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// The dimension sizes, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn elems(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns `true` for the rank-0 scalar shape.
+    pub fn is_scalar(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// The shape with dimension `axis` removed (reduction result shape).
+    pub fn without_axis(&self, axis: usize) -> Shape {
+        let mut dims = self.0.clone();
+        dims.remove(axis);
+        Shape(dims)
+    }
+
+    /// The shape with a size-1 dimension inserted at `axis`
+    /// (`ExpandDims` result shape).
+    pub fn with_axis(&self, axis: usize, size: usize) -> Shape {
+        let mut dims = self.0.clone();
+        dims.insert(axis, size);
+        Shape(dims)
+    }
+
+    /// Whether `self` is a proper leading prefix of `other`
+    /// (e.g. `[34]` prefixes `[34, 1000]`).
+    pub fn is_prefix_of(&self, other: &Shape) -> bool {
+        self.rank() < other.rank() && other.dims()[..self.rank()] == *self.dims()
+    }
+
+    /// Operand compatibility: equal shapes, one side scalar, or one side a
+    /// leading prefix of the other (TensorFlow-style broadcast over the
+    /// trailing — data-parallel — axes, e.g. centroid `[34]` against
+    /// features `[34, N]`).
+    pub fn compatible(&self, other: &Shape) -> bool {
+        self.broadcast(other).is_some()
+    }
+
+    /// The result shape of an element-wise op over compatible operands
+    /// (the higher-rank side wins).
+    pub fn broadcast(&self, other: &Shape) -> Option<Shape> {
+        if self == other || other.is_scalar() || other.is_prefix_of(self) {
+            Some(self.clone())
+        } else if self.is_scalar() || self.is_prefix_of(other) {
+            Some(other.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Row-major strides for indexing.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flattens a multi-index to a linear offset.
+    ///
+    /// # Panics
+    /// Panics if the index rank or any coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let strides = self.strides();
+        index.iter().zip(&strides).zip(&self.0).fold(0, |acc, ((&i, &s), &d)| {
+            assert!(i < d, "index {i} out of bound {d}");
+            acc + i * s
+        })
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.elems(), 24);
+        assert_eq!(s.dim(1), 3);
+        assert!(!s.is_scalar());
+        assert!(Shape::scalar().is_scalar());
+        assert_eq!(Shape::scalar().elems(), 1);
+    }
+
+    #[test]
+    fn axis_edits() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.without_axis(1), Shape::new(vec![2, 4]));
+        assert_eq!(s.with_axis(0, 1), Shape::new(vec![1, 2, 3, 4]));
+        assert_eq!(s.with_axis(3, 7), Shape::new(vec![2, 3, 4, 7]));
+    }
+
+    #[test]
+    fn compatibility() {
+        let v = Shape::vector(5);
+        assert!(v.compatible(&Shape::vector(5)));
+        assert!(v.compatible(&Shape::scalar()));
+        assert!(!v.compatible(&Shape::vector(6)));
+        assert_eq!(v.broadcast(&Shape::scalar()), Some(Shape::vector(5)));
+        assert_eq!(Shape::scalar().broadcast(&v), Some(Shape::vector(5)));
+        assert_eq!(v.broadcast(&Shape::vector(6)), None);
+    }
+
+    #[test]
+    fn strides_and_offsets() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+        assert_eq!(s.offset(&[1, 0, 2]), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bound")]
+    fn offset_bound_check() {
+        Shape::new(vec![2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

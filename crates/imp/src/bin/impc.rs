@@ -1,0 +1,158 @@
+//! `impc` — the in-memory-processor compiler driver.
+//!
+//! Compiles a kernel written in the textual graph format (see
+//! [`imp_dfg::textfmt`]) down to the 13-instruction ISA, and optionally
+//! disassembles, range-checks or executes it on the simulated chip with
+//! synthetic inputs.
+//!
+//! ```sh
+//! impc kernel.imp                    # compile, print statistics
+//! impc kernel.imp --disasm           # + full assembly listing
+//! impc kernel.imp --policy ilp       # MaxILP instead of MaxArrayUtil
+//! impc kernel.imp --run              # + execute with midpoint inputs
+//! impc kernel.imp --rangecheck       # dynamic-range analysis only
+//! ```
+
+use imp::compiler::perf;
+use imp::{ChipCapacity, CompileOptions, Machine, OptPolicy, QFormat, SimConfig, Tensor};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!(
+            "usage: impc <kernel.imp> [--policy dlp|ilp|util] [--disasm] [--run] [--rangecheck]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let policy = match args
+        .iter()
+        .position(|a| a == "--policy")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("dlp") => OptPolicy::MaxDlp,
+        Some("ilp") => OptPolicy::MaxIlp,
+        Some("util") | None => OptPolicy::MaxArrayUtil,
+        Some(other) => {
+            eprintln!("impc: unknown policy `{other}` (dlp|ilp|util)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("impc: cannot read `{path}`: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match imp_dfg::textfmt::parse(&text) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            eprintln!("impc: parse error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if flag("--rangecheck") {
+        return rangecheck(&parsed);
+    }
+
+    let options = CompileOptions {
+        policy,
+        ranges: parsed.ranges.clone(),
+        ..Default::default()
+    };
+    let kernel = match imp::compile(&parsed.graph, &options) {
+        Ok(kernel) => kernel,
+        Err(err) => {
+            eprintln!("impc: compile error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("kernel `{path}` compiled:");
+    println!("  parallelism        : {:?}", kernel.parallel);
+    println!("  instruction blocks : {}", kernel.ibs.len());
+    println!("  total instructions : {}", kernel.stats.total_instructions);
+    println!("  module latency     : {} array cycles", kernel.module_latency());
+    println!("  cross-IB moves     : {}", kernel.stats.cross_ib_moves);
+    let mix = kernel.instruction_mix();
+    let mix_line: Vec<String> =
+        mix.iter().map(|(m, c)| format!("{m}:{c}")).collect();
+    println!("  instruction mix    : {}", mix_line.join(" "));
+    let est = perf::estimate(&kernel, kernel.parallel.instances(), ChipCapacity::paper());
+    println!(
+        "  paper-chip estimate: {} rounds, {:.3} µs",
+        est.rounds,
+        est.seconds * 1e6
+    );
+
+    if flag("--disasm") {
+        println!("\n{}", kernel.disassemble());
+    }
+
+    if flag("--run") {
+        let mut inputs: HashMap<String, Tensor> = HashMap::new();
+        for node in parsed.graph.nodes() {
+            if let imp_dfg::Op::Placeholder { name } = node.op() {
+                let mid = parsed
+                    .ranges
+                    .get(name)
+                    .map_or(1.0, |r| (r.lo + r.hi) / 2.0);
+                inputs.insert(name.clone(), Tensor::filled(mid, node.shape().clone()));
+            }
+        }
+        let mut machine = Machine::new(SimConfig::functional());
+        match machine.run(&kernel, &inputs) {
+            Ok(report) => {
+                println!("\nexecuted with range-midpoint inputs:");
+                println!("  cycles  : {}", report.cycles);
+                println!("  energy  : {:.3} µJ", report.energy.total_j() * 1e6);
+                for (&node, tensor) in &report.outputs {
+                    let name = parsed
+                        .names
+                        .iter()
+                        .find(|(_, &id)| id == node)
+                        .map_or_else(|| node.to_string(), |(n, _)| n.clone());
+                    let preview: Vec<f64> =
+                        tensor.data().iter().take(4).copied().collect();
+                    println!("  {name} = {preview:?}…");
+                }
+            }
+            Err(err) => {
+                eprintln!("impc: run error: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn rangecheck(parsed: &imp_dfg::textfmt::ParsedGraph) -> ExitCode {
+    match imp_dfg::range::analyze(&parsed.graph, &parsed.ranges, QFormat::Q16_16) {
+        Ok(report) => {
+            let worst = report
+                .node_ranges
+                .values()
+                .fold(0.0f64, |acc, r| acc.max(r.max_abs()));
+            println!("max |value| over all nodes: {worst}");
+            println!("overflowing nodes at Q16.16: {}", report.overflows.len());
+            if let Some(q) = report.recommended_format {
+                println!("most precise fitting format: {q}");
+            }
+            if report.overflows.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("impc: range analysis failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

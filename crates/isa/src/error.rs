@@ -1,0 +1,52 @@
+use std::fmt;
+
+/// Errors produced while constructing, encoding, decoding or assembling
+/// ISA instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A row index exceeded [`crate::ARRAY_ROWS`].
+    RowOutOfRange(usize),
+    /// A register index exceeded [`crate::NUM_REGISTERS`].
+    RegisterOutOfRange(usize),
+    /// The byte stream ended before a full instruction was decoded.
+    TruncatedInstruction {
+        /// Number of bytes that were available.
+        available: usize,
+        /// Number of bytes the instruction required.
+        needed: usize,
+    },
+    /// An unknown opcode byte was encountered while decoding.
+    UnknownOpcode(u8),
+    /// A shift amount exceeded the 32-bit word width.
+    ShiftTooLarge(u8),
+    /// The assembler could not parse a line.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::RowOutOfRange(row) => {
+                write!(f, "row index {row} exceeds array height {}", crate::ARRAY_ROWS)
+            }
+            IsaError::RegisterOutOfRange(reg) => {
+                write!(f, "register index {reg} exceeds register file size {}", crate::NUM_REGISTERS)
+            }
+            IsaError::TruncatedInstruction { available, needed } => {
+                write!(f, "truncated instruction: needed {needed} bytes, had {available}")
+            }
+            IsaError::UnknownOpcode(byte) => write!(f, "unknown opcode byte {byte:#04x}"),
+            IsaError::ShiftTooLarge(amount) => {
+                write!(f, "shift amount {amount} exceeds word width {}", crate::WORD_BITS)
+            }
+            IsaError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}

@@ -1,0 +1,79 @@
+//! # imp-isa — Instruction Set Architecture of the In-Memory Processor
+//!
+//! This crate defines the 13-instruction ISA of the ASPLOS'18 *In-Memory Data
+//! Parallel Processor* (IMP): typed instructions, operand addressing, binary
+//! encoding (instructions are at most 34 bytes), instruction latencies
+//! (Table 1 of the paper), and a small text assembler/disassembler.
+//!
+//! The ISA is deliberately compact: the only compute primitives are the
+//! operations a ReRAM crossbar can perform *in situ* over its bit-lines
+//! (`add`, `dot`, `mul`, `sub`) plus the digital-periphery operations
+//! (`shift`, `mask`, `lut`) and data movement (`mov`, `movs`, `movi`,
+//! `movg`, `reduce_sum`). There is no branch, jump or loop instruction;
+//! control flow is compiled to predication (`movs`) and loops are unrolled
+//! by the compiler (see `imp-compiler`).
+//!
+//! ## Example
+//!
+//! ```
+//! use imp_isa::{Instruction, Addr, RowMask, Latency};
+//!
+//! // Add rows 3 and 7 of the local array, writing the sum to row 9.
+//! let add = Instruction::Add {
+//!     mask: RowMask::from_rows([3, 7]),
+//!     dst: Addr::mem(9),
+//! };
+//! assert_eq!(add.latency(), Latency::Fixed(3));
+//! let bytes = add.encode();
+//! assert!(bytes.len() <= Instruction::MAX_ENCODED_LEN);
+//! assert_eq!(Instruction::decode(&bytes).unwrap().0, add);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod asm;
+mod block;
+mod encode;
+mod error;
+mod instruction;
+mod opcode;
+mod operand;
+
+pub use asm::{assemble, disassemble};
+pub use block::InstructionBlock;
+pub use error::IsaError;
+pub use instruction::{Instruction, Latency};
+pub use opcode::Opcode;
+pub use operand::{Addr, GlobalAddr, Imm, LaneMask, RowMask};
+
+/// Number of rows in a ReRAM crossbar array (also the row-mask width).
+pub const ARRAY_ROWS: usize = 128;
+
+/// Number of bit-line columns in a ReRAM crossbar array.
+pub const ARRAY_COLS: usize = 128;
+
+/// Bits stored per resistive cell (the prototype conservatively uses 2-bit
+/// cells, i.e. four resistance levels).
+pub const CELL_BITS: usize = 2;
+
+/// Word width of one vector element, in bits.
+pub const WORD_BITS: usize = 32;
+
+/// Number of 32-bit SIMD lanes per array row
+/// (128 columns × 2 bits ÷ 32 bits = 8 lanes).
+pub const LANES: usize = ARRAY_COLS * CELL_BITS / WORD_BITS;
+
+/// Number of registers addressable in the cluster register file.
+pub const NUM_REGISTERS: usize = 128;
+
+/// The architectural mask register: writing a row of values here latches a
+/// per-lane "non-zero" bit vector that [`LaneMask::DYNAMIC`] `movs`
+/// instructions use as their write-enable mask (compiled `Select`).
+pub const MASK_REGISTER: usize = 127;
+
+/// Number of entries in the cluster look-up table.
+pub const LUT_ENTRIES: usize = 512;
+
+/// Width in bits of one LUT entry.
+pub const LUT_ENTRY_BITS: usize = 8;

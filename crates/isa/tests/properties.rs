@@ -1,0 +1,114 @@
+//! Property tests over arbitrary instructions: encode/decode and
+//! assemble/disassemble are total inverses across the whole instruction
+//! space.
+
+use imp_isa::{
+    assemble, disassemble, Addr, GlobalAddr, Imm, Instruction, InstructionBlock, LaneMask,
+    RowMask,
+};
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    prop_oneof![
+        (0usize..128).prop_map(Addr::mem),
+        (0usize..128).prop_map(Addr::reg),
+    ]
+}
+
+fn arb_mem_addr() -> impl Strategy<Value = Addr> {
+    (0usize..128).prop_map(Addr::mem)
+}
+
+fn arb_row_mask() -> impl Strategy<Value = RowMask> {
+    any::<u128>().prop_map(RowMask::from_bits)
+}
+
+fn arb_gaddr() -> impl Strategy<Value = GlobalAddr> {
+    (0usize..4096, 0usize..64, 0usize..128)
+        .prop_map(|(t, a, r)| GlobalAddr::new(t, a, r))
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (arb_row_mask(), arb_addr()).prop_map(|(mask, dst)| Instruction::Add { mask, dst }),
+        (arb_row_mask(), arb_row_mask(), arb_addr())
+            .prop_map(|(mask, reg_mask, dst)| Instruction::Dot { mask, reg_mask, dst }),
+        (arb_addr(), arb_addr(), arb_addr())
+            .prop_map(|(a, b, dst)| Instruction::Mul { a, b, dst }),
+        (arb_row_mask(), arb_row_mask(), arb_addr())
+            .prop_map(|(minuend, subtrahend, dst)| Instruction::Sub {
+                minuend,
+                subtrahend,
+                dst
+            }),
+        (arb_addr(), arb_addr(), 0u8..32)
+            .prop_map(|(src, dst, amount)| Instruction::ShiftL { src, dst, amount }),
+        (arb_addr(), arb_addr(), 0u8..32)
+            .prop_map(|(src, dst, amount)| Instruction::ShiftR { src, dst, amount }),
+        (arb_addr(), arb_addr(), any::<u32>())
+            .prop_map(|(src, dst, imm)| Instruction::Mask { src, dst, imm }),
+        (arb_addr(), arb_addr()).prop_map(|(src, dst)| Instruction::Mov { src, dst }),
+        (arb_addr(), arb_addr(), any::<u8>()).prop_map(|(src, dst, bits)| Instruction::Movs {
+            src,
+            dst,
+            lane_mask: LaneMask::from_bits(bits)
+        }),
+        (arb_addr(), any::<i32>())
+            .prop_map(|(dst, v)| Instruction::Movi { dst, imm: Imm::broadcast(v) }),
+        (arb_gaddr(), arb_gaddr()).prop_map(|(src, dst)| Instruction::Movg { src, dst }),
+        (arb_addr(), arb_addr()).prop_map(|(src, dst)| Instruction::Lut { src, dst }),
+        (arb_mem_addr(), arb_gaddr())
+            .prop_map(|(src, dst)| Instruction::ReduceSum { src, dst }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn binary_roundtrip(inst in arb_instruction()) {
+        let bytes = inst.encode();
+        prop_assert!(bytes.len() <= Instruction::MAX_ENCODED_LEN);
+        let (decoded, used) = Instruction::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, inst);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn stream_roundtrip(insts in prop::collection::vec(arb_instruction(), 0..40)) {
+        let block = InstructionBlock::from_instructions("p", insts.clone());
+        let decoded = InstructionBlock::decode("p", &block.encode()).unwrap();
+        prop_assert_eq!(decoded.instructions(), insts.as_slice());
+    }
+
+    #[test]
+    fn text_roundtrip(insts in prop::collection::vec(arb_instruction(), 0..24)) {
+        // Display → assemble reproduces the block (Movi immediates carry
+        // a broadcast i32, which the text format preserves exactly).
+        let block = InstructionBlock::from_instructions("p", insts);
+        let text = disassemble(&block);
+        let parsed = assemble("p", &text).unwrap();
+        prop_assert_eq!(parsed.instructions(), block.instructions());
+    }
+
+    #[test]
+    fn latency_is_total(inst in arb_instruction()) {
+        // Every instruction has a defined latency and consistent opcode
+        // classification.
+        let latency = inst.latency();
+        let variable = inst.opcode().has_variable_latency();
+        match latency {
+            imp_isa::Latency::Fixed(c) => {
+                prop_assert!(!variable);
+                prop_assert!((1..=18).contains(&c));
+            }
+            imp_isa::Latency::Variable => prop_assert!(variable),
+        }
+    }
+
+    #[test]
+    fn decode_never_panics_on_junk(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Arbitrary bytes either decode into some instruction or fail
+        // cleanly — no panics, no out-of-bounds.
+        let _ = Instruction::decode(&bytes);
+        let _ = Instruction::decode_stream(&bytes);
+    }
+}

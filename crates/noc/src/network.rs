@@ -1,0 +1,283 @@
+//! Contention-aware message timing over the H-tree.
+
+use crate::topology::{HTreeTopology, LinkId};
+use std::collections::HashMap;
+
+/// Network timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Flit payload in bytes (Table 4: flit size 16).
+    pub flit_bytes: usize,
+    /// Router pipeline latency per hop, in network cycles.
+    pub router_latency: u64,
+    /// Wire traversal latency per hop, in network cycles.
+    pub link_latency: u64,
+    /// Extra cycles for the in-router add during reductions.
+    pub reduce_add_latency: u64,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig { flit_bytes: 16, router_latency: 2, link_latency: 1, reduce_add_latency: 1 }
+    }
+}
+
+/// Aggregate network activity, consumed by the energy model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NocStats {
+    /// Point-to-point messages sent.
+    pub messages: u64,
+    /// Total payload bytes moved.
+    pub bytes: u64,
+    /// Total link traversals (flits × hops).
+    pub flit_hops: u64,
+    /// Router traversals.
+    pub router_traversals: u64,
+    /// In-network reduction additions performed.
+    pub reduction_adds: u64,
+    /// Total cycles messages spent queued behind busy links.
+    pub contention_cycles: u64,
+}
+
+/// The chip network: topology + per-link occupancy for contention modeling.
+///
+/// The model is conservative wormhole-style: a message occupies each link on
+/// its route for its serialization time (flits × 1 cycle per flit), links
+/// are granted in route order, and the head flit pays router + link latency
+/// per hop.
+#[derive(Debug, Clone)]
+pub struct Network {
+    topology: HTreeTopology,
+    config: NocConfig,
+    link_free: HashMap<LinkId, u64>,
+    stats: NocStats,
+}
+
+impl Network {
+    /// Creates an idle network.
+    pub fn new(topology: HTreeTopology, config: NocConfig) -> Self {
+        Network { topology, config, link_free: HashMap::new(), stats: NocStats::default() }
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &HTreeTopology {
+        &self.topology
+    }
+
+    /// The timing parameters.
+    pub fn config(&self) -> &NocConfig {
+        &self.config
+    }
+
+    /// Activity statistics so far.
+    pub fn stats(&self) -> NocStats {
+        self.stats
+    }
+
+    /// Resets occupancy and statistics.
+    pub fn reset(&mut self) {
+        self.link_free.clear();
+        self.stats = NocStats::default();
+    }
+
+    fn flits(&self, bytes: usize) -> u64 {
+        (bytes.max(1)).div_ceil(self.config.flit_bytes) as u64
+    }
+
+    /// Sends `bytes` from tile `src` to tile `dst`, injecting at time `now`
+    /// (network cycles). Returns the delivery completion time.
+    ///
+    /// A same-tile transfer costs one router traversal through the local
+    /// router (the intra-tile path).
+    pub fn send(&mut self, src: usize, dst: usize, bytes: usize, now: u64) -> u64 {
+        let flits = self.flits(bytes);
+        self.stats.messages += 1;
+        self.stats.bytes += bytes as u64;
+        let route = self.topology.route(src, dst);
+        if route.is_empty() {
+            // Local delivery through the tile router.
+            self.stats.router_traversals += 1;
+            return now + self.config.router_latency + flits;
+        }
+        let mut head_time = now;
+        for link in &route {
+            let free = self.link_free.get(link).copied().unwrap_or(0);
+            let start = head_time.max(free);
+            self.stats.contention_cycles += start - head_time;
+            // The link is busy until the whole message has crossed it.
+            let done = start + self.config.router_latency + self.config.link_latency + flits;
+            self.link_free.insert(*link, done);
+            head_time = start + self.config.router_latency + self.config.link_latency;
+            self.stats.router_traversals += 1;
+        }
+        self.stats.flit_hops += flits * route.len() as u64;
+        // Tail flit arrives `flits` cycles after the head.
+        head_time + flits
+    }
+
+    /// Performs an in-network reduction over `tiles`, delivering the result
+    /// to `dst_tile`. Each participating value is `bytes` wide. Returns the
+    /// completion time.
+    ///
+    /// Values flow up the smallest covering subtree; each router sums its
+    /// children's partial values with its shift-and-add unit, so the link
+    /// traffic per level stays one value per subtree instead of one per
+    /// tile.
+    pub fn reduce(&mut self, tiles: &[usize], dst_tile: usize, bytes: usize, now: u64) -> u64 {
+        if tiles.is_empty() {
+            return now;
+        }
+        let flits = self.flits(bytes);
+        let links = self.topology.reduction_links(tiles);
+        let top_level = tiles
+            .iter()
+            .skip(1)
+            .fold(0u8, |acc, &t| acc.max(self.topology.common_ancestor_level(tiles[0], t)));
+        // Per-level depth of the reduction tree: each level adds a router
+        // hop plus the reduction add.
+        let per_hop =
+            self.config.router_latency + self.config.link_latency + self.config.reduce_add_latency;
+        let up_time = now + u64::from(top_level) * per_hop + flits;
+        // Occupancy: every participating link carries one value.
+        let mut busiest = up_time;
+        for link in &links {
+            let free = self.link_free.get(link).copied().unwrap_or(0);
+            let start = now.max(free);
+            self.stats.contention_cycles += start - now;
+            let done = start + per_hop + flits;
+            self.link_free.insert(*link, done);
+            busiest = busiest.max(done);
+        }
+        self.stats.flit_hops += flits * links.len() as u64;
+        self.stats.router_traversals += links.len() as u64;
+        // One add per link that merges into a router.
+        self.stats.reduction_adds += links.len() as u64;
+        // Deliver the reduced value from the subtree root down to dst.
+        let root_ancestor = self.topology.ancestor(tiles[0], top_level);
+        let dst_ancestor = self.topology.ancestor(dst_tile, top_level);
+        let down = if root_ancestor == dst_ancestor {
+            let mut t = busiest;
+            for level in (0..top_level).rev() {
+                let link =
+                    LinkId { level, node: self.topology.ancestor(dst_tile, level), up: false };
+                let free = self.link_free.get(&link).copied().unwrap_or(0);
+                let start = t.max(free);
+                let done = start + self.config.router_latency + self.config.link_latency + flits;
+                self.link_free.insert(link, done);
+                self.stats.router_traversals += 1;
+                t = start + self.config.router_latency + self.config.link_latency;
+            }
+            t + flits
+        } else {
+            // Destination outside the reduction subtree: a full send from
+            // a representative tile at the subtree root.
+            self.send(tiles[0], dst_tile, bytes, busiest)
+        };
+        self.stats.messages += 1;
+        self.stats.bytes += bytes as u64;
+        down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(HTreeTopology::new(64, 8), NocConfig::default())
+    }
+
+    #[test]
+    fn local_send_is_cheap() {
+        let mut n = net();
+        let t = n.send(3, 3, 16, 0);
+        assert_eq!(t, 2 + 1); // router latency + 1 flit
+    }
+
+    #[test]
+    fn farther_is_slower() {
+        let mut n = net();
+        let near = n.send(0, 1, 16, 0);
+        n.reset();
+        let far = n.send(0, 63, 16, 0);
+        assert!(far > near, "far {far} should exceed near {near}");
+    }
+
+    #[test]
+    fn bigger_messages_serialize() {
+        let mut n = net();
+        let small = n.send(0, 1, 16, 0);
+        n.reset();
+        let big = n.send(0, 1, 160, 0);
+        assert_eq!(big - small, 9); // 10 flits vs 1 flit
+    }
+
+    #[test]
+    fn contention_queues() {
+        let mut n = net();
+        let first = n.send(0, 7, 64, 0);
+        // Second message over the same links at the same time must queue.
+        let second = n.send(0, 7, 64, 0);
+        assert!(second > first);
+        assert!(n.stats().contention_cycles > 0);
+        // Disjoint route suffers no queueing.
+        let mut n2 = net();
+        let a = n2.send(0, 7, 64, 0);
+        let b = n2.send(8, 15, 64, 0);
+        assert_eq!(a, b);
+        assert_eq!(n2.stats().contention_cycles, 0);
+    }
+
+    #[test]
+    fn reduction_scales_with_depth() {
+        let mut n = net();
+        let shallow = n.reduce(&[0, 1, 2, 3], 0, 32, 0);
+        n.reset();
+        let deep = n.reduce(&[0, 8, 16, 56], 0, 32, 0);
+        assert!(deep > shallow);
+        assert!(n.stats().reduction_adds > 0);
+    }
+
+    #[test]
+    fn reduction_beats_serial_sends() {
+        // The efficient in-network reduction is why the paper finds NoC
+        // time is not a bottleneck (§7.3).
+        let tiles: Vec<usize> = (0..32).collect();
+        let mut n = net();
+        let reduce_done = n.reduce(&tiles, 0, 32, 0);
+        let mut n2 = net();
+        let mut serial_done = 0;
+        for &t in &tiles {
+            serial_done = serial_done.max(n2.send(t, 0, 32, 0));
+        }
+        assert!(reduce_done <= serial_done);
+    }
+
+    #[test]
+    fn reduce_to_outside_tile() {
+        let mut n = net();
+        // Reduction over tiles 0..8 (subtree of leaf router 0), delivered
+        // to tile 63 outside the subtree.
+        let t = n.reduce(&[0, 1, 2, 3, 4, 5, 6, 7], 63, 32, 0);
+        assert!(t > 0);
+    }
+
+    #[test]
+    fn empty_reduce_is_noop() {
+        let mut n = net();
+        assert_eq!(n.reduce(&[], 0, 32, 7), 7);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut n = net();
+        n.send(0, 9, 32, 0);
+        n.send(1, 2, 16, 5);
+        let stats = n.stats();
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.bytes, 48);
+        assert!(stats.flit_hops >= 4);
+        n.reset();
+        assert_eq!(n.stats(), NocStats::default());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests over the H-tree network: routing sanity, contention
+//! monotonicity, and reduction-vs-unicast dominance.
+
+use imp_noc::{HTreeTopology, Network, NocConfig};
+use proptest::prelude::*;
+
+fn net() -> Network {
+    Network::new(HTreeTopology::chip(), NocConfig::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn delivery_never_precedes_injection(
+        src in 0usize..4096,
+        dst in 0usize..4096,
+        bytes in 1usize..512,
+        now in 0u64..10_000,
+    ) {
+        let mut n = net();
+        let t = n.send(src, dst, bytes, now);
+        prop_assert!(t > now);
+    }
+
+    #[test]
+    fn latency_monotone_in_distance(a in 0usize..4096, b in 0usize..4096) {
+        // A message crossing more tree levels takes at least as long as a
+        // same-subtree message of equal size.
+        let topo = HTreeTopology::chip();
+        let near_dst = (a / 8) * 8 + (a + 1) % 8; // same leaf router
+        let mut n1 = net();
+        let near = n1.send(a, near_dst, 64, 0);
+        let mut n2 = net();
+        let far = n2.send(a, b, 64, 0);
+        if topo.hops(a, b) > topo.hops(a, near_dst) {
+            prop_assert!(far >= near);
+        }
+    }
+
+    #[test]
+    fn contention_only_delays(
+        src in 0usize..4096,
+        dst in 0usize..4096,
+        k in 1usize..8,
+    ) {
+        // Re-sending the same message k times only ever pushes later.
+        let mut n = net();
+        let mut last = 0;
+        for _ in 0..k {
+            let t = n.send(src, dst, 64, 0);
+            prop_assert!(t >= last);
+            last = t;
+        }
+        prop_assert!(n.stats().messages == k as u64);
+    }
+
+    #[test]
+    fn reduction_beats_serial_unicast(
+        seed_tiles in prop::collection::btree_set(0usize..4096, 2..32),
+    ) {
+        let tiles: Vec<usize> = seed_tiles.into_iter().collect();
+        let dst = tiles[0];
+        let mut reducing = net();
+        let reduce_done = reducing.reduce(&tiles, dst, 32, 0);
+        let mut serial = net();
+        let mut serial_done = 0;
+        for &t in &tiles {
+            if t != dst {
+                serial_done = serial_done.max(serial.send(t, dst, 32, 0));
+            }
+        }
+        // In-network adders merge flows, so tree reduction is never worse
+        // than funneling every value through the destination's links.
+        prop_assert!(
+            reduce_done <= serial_done.max(1) * 2,
+            "reduce {reduce_done} vs serial {serial_done}"
+        );
+    }
+
+    #[test]
+    fn routes_stay_inside_the_tree(a in 0usize..4096, b in 0usize..4096) {
+        let topo = HTreeTopology::chip();
+        for link in topo.route(a, b) {
+            prop_assert!(link.level < topo.levels());
+        }
+        // Ancestors chain consistently.
+        for level in 0..topo.levels() {
+            let anc = topo.ancestor(a, level);
+            let parent = topo.ancestor(a, level + 1);
+            prop_assert_eq!(anc as usize / topo.radix(), parent as usize);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The analog compute model: DAC/ADC specifications, the n-ary operand
+//! bound imposed by ADC resolution, and per-operation activity traces for
+//! the energy model.
+
+use crate::RramError;
+
+/// Analog periphery configuration of one array.
+///
+/// The prototype chip uses 2-bit cells, 2-bit DACs and 5-bit ADCs (§2.1);
+/// ADC resolution bounds how many rows an n-ary `add`/`dot` may activate at
+/// once, which in turn bounds the compiler's node-merging pass (§5.2) and
+/// sets ADC energy (ADCs dominate chip power, §7.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalogSpec {
+    /// Bits per resistive cell (resistance levels = 2^cell_bits).
+    pub cell_bits: u8,
+    /// DAC resolution in bits (must equal `cell_bits` for signed
+    /// multiplication to be closed under 4's complement, §2.3).
+    pub dac_bits: u8,
+    /// ADC resolution in bits.
+    pub adc_bits: u8,
+    /// If `true`, an operation whose worst-case per-bit-line partial sum
+    /// exceeds the ADC range fails with [`RramError::AdcOverrange`];
+    /// if `false` the partial sums saturate (physical clipping).
+    pub strict_adc: bool,
+    /// Fraction bits of the chip-wide fixed-point format: `mul`/`dot`
+    /// results are the wide product arithmetic-shifted right by this
+    /// amount (the S+A unit selects the aligned 32-bit window).
+    pub frac_bits: u8,
+    /// Probability that one ADC conversion reads off by ±1 LSB — the
+    /// process-variation noise §6 cites as the reason for limiting cells
+    /// to two levels. 0 (the default) is the paper's conservative
+    /// operating point *after* that mitigation.
+    pub noise_prob: f64,
+}
+
+impl AnalogSpec {
+    /// The paper's prototype configuration: 2-bit cells, 2-bit DACs,
+    /// 5-bit ADCs, strict range checking, Q16.16 arithmetic, no residual
+    /// analog noise.
+    pub fn prototype() -> Self {
+        AnalogSpec {
+            cell_bits: 2,
+            dac_bits: 2,
+            adc_bits: 5,
+            strict_adc: true,
+            frac_bits: 16,
+            noise_prob: 0.0,
+        }
+    }
+
+    /// Prototype configuration with integer (Q0) arithmetic.
+    pub fn integer() -> Self {
+        AnalogSpec { frac_bits: 0, ..Self::prototype() }
+    }
+
+    /// Largest value one cell can store.
+    pub fn max_digit(&self) -> i64 {
+        (1i64 << self.cell_bits) - 1
+    }
+
+    /// Largest partial sum the ADC can convert without clipping.
+    pub fn adc_max(&self) -> i64 {
+        (1i64 << self.adc_bits) - 1
+    }
+
+    /// Maximum number of rows an n-ary `add` may activate: the worst-case
+    /// bit-line partial sum is `n · max_digit`, which must stay within the
+    /// ADC range.
+    pub fn max_add_operands(&self) -> usize {
+        (self.adc_max() / self.max_digit()) as usize
+    }
+
+    /// Maximum number of rows a `dot` may activate: the worst-case bit-line
+    /// partial sum is `n · max_digit · max_dac`, with the multiplicand
+    /// streamed at DAC resolution.
+    pub fn max_dot_operands(&self) -> usize {
+        let per_row = self.max_digit() * ((1i64 << self.dac_bits) - 1);
+        (self.adc_max() / per_row).max(1) as usize
+    }
+
+    /// ADC resolution (bits) required to convert partial sums up to
+    /// `max_partial` without clipping.
+    pub fn required_adc_bits(max_partial: i64) -> u8 {
+        let mut bits = 1u8;
+        while ((1i64 << bits) - 1) < max_partial {
+            bits += 1;
+        }
+        bits
+    }
+
+    /// Validates (or clips) one partial sum against the ADC range.
+    ///
+    /// # Errors
+    /// In strict mode, returns [`RramError::AdcOverrange`] if `partial`
+    /// exceeds the convertible range (negative partials from subtraction
+    /// are allowed down to `-adc_max`, the reverse-current sensing case).
+    pub fn convert(&self, partial: i64) -> Result<i64, RramError> {
+        let limit = self.adc_max();
+        if partial > limit || partial < -limit {
+            if self.strict_adc {
+                return Err(RramError::AdcOverrange { partial_sum: partial, limit });
+            }
+            return Ok(partial.clamp(-limit, limit));
+        }
+        Ok(partial)
+    }
+}
+
+impl Default for AnalogSpec {
+    fn default() -> Self {
+        AnalogSpec::prototype()
+    }
+}
+
+/// Activity trace of one executed instruction, consumed by the energy and
+/// performance models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpTrace {
+    /// Cycles the instruction occupied the array pipeline.
+    pub cycles: u32,
+    /// Number of ADC conversions performed (bit-lines × streaming steps).
+    pub adc_conversions: u32,
+    /// ADC resolution (bits) the conversions actually required — average
+    /// ADC power scales with this (the paper reports a 2.07-bit average).
+    pub adc_bits_used: u8,
+    /// Whether the crossbar was activated (in-situ compute or read).
+    pub crossbar_active: bool,
+    /// Row write-back pulses performed.
+    pub row_writes: u32,
+    /// Register-file accesses (reads + writes).
+    pub regfile_accesses: u32,
+    /// LUT reads performed.
+    pub lut_reads: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_matches_paper() {
+        let spec = AnalogSpec::prototype();
+        assert_eq!(spec.cell_bits, 2);
+        assert_eq!(spec.dac_bits, 2);
+        assert_eq!(spec.adc_bits, 5);
+        assert_eq!(spec.max_digit(), 3);
+        assert_eq!(spec.adc_max(), 31);
+    }
+
+    #[test]
+    fn nary_bounds() {
+        let spec = AnalogSpec::prototype();
+        // 31 / 3 = 10 rows for add.
+        assert_eq!(spec.max_add_operands(), 10);
+        // 31 / 9 = 3 rows for dot.
+        assert_eq!(spec.max_dot_operands(), 3);
+    }
+
+    #[test]
+    fn required_bits() {
+        assert_eq!(AnalogSpec::required_adc_bits(1), 1);
+        assert_eq!(AnalogSpec::required_adc_bits(3), 2);
+        assert_eq!(AnalogSpec::required_adc_bits(6), 3);
+        assert_eq!(AnalogSpec::required_adc_bits(9), 4);
+        assert_eq!(AnalogSpec::required_adc_bits(31), 5);
+    }
+
+    #[test]
+    fn strict_conversion() {
+        let spec = AnalogSpec::prototype();
+        assert_eq!(spec.convert(31).unwrap(), 31);
+        assert_eq!(spec.convert(-31).unwrap(), -31);
+        assert!(matches!(spec.convert(32), Err(RramError::AdcOverrange { .. })));
+    }
+
+    #[test]
+    fn clipping_conversion() {
+        let spec = AnalogSpec { strict_adc: false, ..AnalogSpec::prototype() };
+        assert_eq!(spec.convert(100).unwrap(), 31);
+        assert_eq!(spec.convert(-100).unwrap(), -31);
+    }
+}

@@ -1,0 +1,845 @@
+//! One ReRAM processing unit: a crossbar plus its periphery, executing
+//! array-local ISA instructions.
+
+use crate::analog::{AnalogSpec, OpTrace};
+use crate::crossbar::Crossbar;
+use crate::digits::{self, DIGITS_PER_WORD};
+use crate::lut::Lut;
+use crate::regfile::RegisterFile;
+use crate::RramError;
+use imp_isa::{Addr, Instruction, Latency, LANES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One memory array / processing unit (Figure 1(b) of the paper).
+///
+/// Owns the crossbar and — as a modeling simplification — a private copy of
+/// the cluster register file and LUT. In hardware these are shared by the
+/// eight arrays of a cluster; the compiler partitions register indices
+/// between co-located instruction blocks and LUT contents are read-only
+/// replicas, so private copies are behaviourally equivalent.
+///
+/// [`ReramArray::execute_local`] implements every instruction except
+/// `movg` and `reduce_sum`, whose semantics span arrays and live in
+/// `imp-sim`.
+#[derive(Debug, Clone)]
+pub struct ReramArray {
+    crossbar: Crossbar,
+    regfile: RegisterFile,
+    lut: Lut,
+    spec: AnalogSpec,
+    /// Per-lane "non-zero" bits latched by writes to the mask register,
+    /// consumed by dynamically-predicated `movs` (compiled `Select`).
+    dynamic_mask: u8,
+    /// Seeded source of process-variation noise (only consulted when
+    /// `spec.noise_prob > 0`).
+    fault_rng: StdRng,
+}
+
+impl ReramArray {
+    /// Creates a zeroed array with the given analog configuration.
+    pub fn new(spec: AnalogSpec) -> Self {
+        ReramArray {
+            crossbar: Crossbar::new(),
+            regfile: RegisterFile::new(),
+            lut: Lut::new(),
+            spec,
+            dynamic_mask: 0,
+            fault_rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// Reseeds the process-variation noise source (for reproducible fault
+    /// injection across arrays).
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.fault_rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// One ADC conversion's variation error: ±1 LSB with probability
+    /// `spec.noise_prob`.
+    fn adc_noise(&mut self) -> i64 {
+        if self.spec.noise_prob <= 0.0 {
+            return 0;
+        }
+        if self.fault_rng.gen::<f64>() < self.spec.noise_prob {
+            if self.fault_rng.gen::<bool>() {
+                1
+            } else {
+                -1
+            }
+        } else {
+            0
+        }
+    }
+
+    /// The analog configuration.
+    pub fn spec(&self) -> &AnalogSpec {
+        &self.spec
+    }
+
+    /// The crossbar (for wear inspection).
+    pub fn crossbar(&self) -> &Crossbar {
+        &self.crossbar
+    }
+
+    /// Replaces the LUT contents (host-side initialization).
+    pub fn set_lut(&mut self, lut: Lut) {
+        self.lut = lut;
+    }
+
+    /// The current LUT.
+    pub fn lut(&self) -> &Lut {
+        &self.lut
+    }
+
+    /// Reads one word (no timing effect; host-side access).
+    pub fn read_word(&self, row: usize, lane: usize) -> i32 {
+        self.crossbar.read_word(row, lane)
+    }
+
+    /// Reads a whole row (host-side access).
+    pub fn read_row(&self, row: usize) -> [i32; LANES] {
+        self.crossbar.read_row(row)
+    }
+
+    /// Writes a whole row (host-side data load; counts wear).
+    pub fn write_row(&mut self, row: usize, words: &[i32; LANES]) {
+        self.crossbar.write_row(row, words);
+    }
+
+    /// Writes the same word to every lane of `row` (host-side).
+    pub fn write_row_broadcast(&mut self, row: usize, word: i32) {
+        self.crossbar.write_row(row, &[word; LANES]);
+    }
+
+    /// Reads a register (host-side access).
+    pub fn read_reg(&self, reg: usize) -> [i32; LANES] {
+        self.regfile.read(reg)
+    }
+
+    /// Writes a register (host-side data load).
+    pub fn write_reg(&mut self, reg: usize, value: [i32; LANES]) {
+        self.regfile.write(reg, value);
+        if reg == imp_isa::MASK_REGISTER {
+            self.latch_dynamic_mask(&value);
+        }
+    }
+
+    /// The currently latched dynamic predication mask.
+    pub fn dynamic_mask(&self) -> u8 {
+        self.dynamic_mask
+    }
+
+    fn latch_dynamic_mask(&mut self, value: &[i32; LANES]) {
+        let mut mask = 0u8;
+        for (lane, &word) in value.iter().enumerate() {
+            if word != 0 {
+                mask |= 1 << lane;
+            }
+        }
+        self.dynamic_mask = mask;
+    }
+
+    fn read_addr(&self, addr: Addr) -> [i32; LANES] {
+        match addr {
+            Addr::Mem(row) => self.crossbar.read_row(row as usize),
+            Addr::Reg(reg) => self.regfile.read(reg as usize),
+        }
+    }
+
+    /// Writes a value to a local address, returning `(row_writes,
+    /// regfile_accesses)` for the activity trace.
+    fn write_addr(&mut self, addr: Addr, value: [i32; LANES]) -> (u32, u32) {
+        match addr {
+            Addr::Mem(row) => {
+                self.crossbar.write_row(row as usize, &value);
+                (1, 0)
+            }
+            Addr::Reg(reg) => {
+                self.regfile.write(reg as usize, value);
+                if usize::from(reg) == imp_isa::MASK_REGISTER {
+                    self.latch_dynamic_mask(&value);
+                }
+                (0, 1)
+            }
+        }
+    }
+
+    /// Executes one array-local instruction, updating state and returning
+    /// the activity trace used by the timing/energy models.
+    ///
+    /// # Errors
+    /// * [`RramError::NotArrayLocal`] for `movg`/`reduce_sum`;
+    /// * [`RramError::AdcOverrange`] if an n-ary operation exceeds the ADC
+    ///   range and the spec is strict.
+    pub fn execute_local(&mut self, inst: &Instruction) -> Result<OpTrace, RramError> {
+        let cycles = match inst.latency() {
+            Latency::Fixed(cycles) => cycles,
+            Latency::Variable => {
+                return Err(RramError::NotArrayLocal(inst.opcode().mnemonic()));
+            }
+        };
+        let mut trace = OpTrace { cycles, ..OpTrace::default() };
+        match *inst {
+            Instruction::Add { mask, dst } => {
+                let rows: Vec<usize> = mask.rows().collect();
+                let value = self.in_situ_add(&rows, &[], &mut trace)?;
+                self.finish_write(dst, value, &mut trace);
+            }
+            Instruction::Sub { minuend, subtrahend, dst } => {
+                let plus: Vec<usize> = minuend.rows().collect();
+                let minus: Vec<usize> = subtrahend.rows().collect();
+                let value = self.in_situ_add(&plus, &minus, &mut trace)?;
+                self.finish_write(dst, value, &mut trace);
+            }
+            Instruction::Dot { mask, reg_mask, dst } => {
+                let rows: Vec<usize> = mask.rows().collect();
+                let regs: Vec<usize> = reg_mask.rows().collect();
+                let value = self.in_situ_dot(&rows, &regs, &mut trace)?;
+                trace.regfile_accesses += regs.len() as u32;
+                self.finish_write(dst, value, &mut trace);
+            }
+            Instruction::Mul { a, b, dst } => {
+                let value = self.in_situ_mul(a, b, &mut trace)?;
+                self.finish_write(dst, value, &mut trace);
+            }
+            Instruction::ShiftL { src, dst, amount } => {
+                let value = self.read_for_periphery(src, &mut trace);
+                let shifted = value.map(|word| ((word as u32) << amount) as i32);
+                self.finish_write(dst, shifted, &mut trace);
+            }
+            Instruction::ShiftR { src, dst, amount } => {
+                let value = self.read_for_periphery(src, &mut trace);
+                let shifted = value.map(|word| word >> amount);
+                self.finish_write(dst, shifted, &mut trace);
+            }
+            Instruction::Mask { src, dst, imm } => {
+                let value = self.read_for_periphery(src, &mut trace);
+                let masked = value.map(|word| ((word as u32) & imm) as i32);
+                self.finish_write(dst, masked, &mut trace);
+            }
+            Instruction::Mov { src, dst } => {
+                let value = self.read_for_periphery(src, &mut trace);
+                self.finish_write(dst, value, &mut trace);
+            }
+            Instruction::Movs { src, dst, lane_mask } => {
+                let value = self.read_for_periphery(src, &mut trace);
+                // An all-zero static mask is the dynamic-predication
+                // encoding: use the latched condition mask.
+                let bits = if lane_mask.bits() == 0 { self.dynamic_mask } else { lane_mask.bits() };
+                match dst {
+                    Addr::Mem(row) => {
+                        self.crossbar.write_row_masked(row as usize, &value, bits);
+                        trace.row_writes += 1;
+                    }
+                    Addr::Reg(reg) => {
+                        self.regfile.write_masked(reg as usize, value, bits);
+                        if usize::from(reg) == imp_isa::MASK_REGISTER {
+                            let latched = self.regfile.read(reg as usize);
+                            self.latch_dynamic_mask(&latched);
+                        }
+                        trace.regfile_accesses += 1;
+                    }
+                }
+            }
+            Instruction::Movi { dst, imm } => {
+                let value = [imm.as_i32(); LANES];
+                self.finish_write(dst, value, &mut trace);
+            }
+            Instruction::Lut { src, dst } => {
+                let value = self.read_for_periphery(src, &mut trace);
+                let looked: [i32; LANES] = value.map(|word| i32::from(self.lut.lookup(word)));
+                trace.lut_reads += LANES as u32;
+                self.finish_write(dst, looked, &mut trace);
+            }
+            Instruction::Movg { .. } | Instruction::ReduceSum { .. } => {
+                return Err(RramError::NotArrayLocal(inst.opcode().mnemonic()));
+            }
+        }
+        Ok(trace)
+    }
+
+    /// n-ary in-situ addition/subtraction over bit-line current summation.
+    ///
+    /// Per bit-line, the partial sum is the sum of plus-row digits minus
+    /// the sum of minus-row digits (current drained via the subtrahend
+    /// word-lines). Each partial is validated against the ADC range, then
+    /// the shift-and-add periphery recombines them modulo 2³².
+    fn in_situ_add(
+        &mut self,
+        plus_rows: &[usize],
+        minus_rows: &[usize],
+        trace: &mut OpTrace,
+    ) -> Result<[i32; LANES], RramError> {
+        trace.crossbar_active = true;
+        let mut max_abs_partial: i64 = 0;
+        let mut out = [0i32; LANES];
+        for (lane, out_word) in out.iter_mut().enumerate() {
+            let mut partials = [0i64; DIGITS_PER_WORD];
+            for (digit_pos, partial) in partials.iter_mut().enumerate() {
+                let col = lane * DIGITS_PER_WORD + digit_pos;
+                let mut sum: i64 = 0;
+                for &row in plus_rows {
+                    sum += i64::from(self.crossbar.digit(row, col));
+                }
+                for &row in minus_rows {
+                    sum -= i64::from(self.crossbar.digit(row, col));
+                }
+                sum += self.adc_noise();
+                max_abs_partial = max_abs_partial.max(sum.abs());
+                *partial = self.spec.convert(sum)?;
+            }
+            *out_word = digits::combine_partial_sums(&partials);
+        }
+        trace.adc_conversions += (LANES * DIGITS_PER_WORD) as u32;
+        trace.adc_bits_used = AnalogSpec::required_adc_bits(max_abs_partial.max(1));
+        Ok(out)
+    }
+
+    /// In-situ dot product: selected rows multiplied by register
+    /// multiplicands streamed 2 bits per cycle through the word-line DACs,
+    /// products summed over the bit-lines.
+    ///
+    /// One word-line DAC serves one row, so the streamed multiplicand is a
+    /// *single scalar per row shared by every lane* — lane 0 of the
+    /// register is the architectural scalar. (This is why the paper adds
+    /// the separate bit-line-DAC `mul` path: "dot product uses the same
+    /// multiplicand for all elements stored in a row, it can not be
+    /// utilized for element-by-element multiplication", §2.2.)
+    ///
+    /// The per-bit-line, per-chunk partial sum is `Σᵢ digit(rowᵢ)·chunk(mᵢ)`
+    /// which must fit the ADC range; the shift-and-add unit accumulates the
+    /// wide product with two's-complement sign correction and selects the
+    /// window aligned to the fixed-point format.
+    fn in_situ_dot(
+        &mut self,
+        rows: &[usize],
+        regs: &[usize],
+        trace: &mut OpTrace,
+    ) -> Result<[i32; LANES], RramError> {
+        trace.crossbar_active = true;
+        let pairs = rows.len().min(regs.len());
+        let mut max_partial: i64 = 0;
+        let mut out = [0i32; LANES];
+        for (lane, out_word) in out.iter_mut().enumerate() {
+            // ADC-range accounting (and noise collection) at digit
+            // granularity: each (bit-line, chunk) conversion carries the
+            // weight 4^(digit+chunk) into the accumulated product.
+            let mut noise_acc: i64 = 0;
+            for digit_pos in 0..DIGITS_PER_WORD {
+                let col = lane * DIGITS_PER_WORD + digit_pos;
+                for chunk in 0..DIGITS_PER_WORD {
+                    let mut partial: i64 = 0;
+                    for pair in 0..pairs {
+                        let cell = i64::from(self.crossbar.digit(rows[pair], col));
+                        let m = self.regfile.read_lane(regs[pair], 0);
+                        let m_chunk = i64::from((m as u32 >> (2 * chunk)) & 0b11);
+                        partial += cell * m_chunk;
+                    }
+                    let noise = self.adc_noise();
+                    partial += noise;
+                    let weight_shift = 2 * (digit_pos + chunk);
+                    if noise != 0 && weight_shift < 62 {
+                        noise_acc = noise_acc.wrapping_add(noise << weight_shift);
+                    }
+                    max_partial = max_partial.max(partial);
+                    self.spec.convert(partial)?;
+                }
+            }
+            // Value semantics: sign-corrected wide MAC, then the aligned
+            // 32-bit window (see DESIGN.md on Baugh–Wooley correction in
+            // the S+A unit).
+            let mut acc: i64 = noise_acc;
+            for pair in 0..pairs {
+                let a = i64::from(self.crossbar.read_word(rows[pair], lane));
+                let m = i64::from(self.regfile.read_lane(regs[pair], 0));
+                acc = acc.wrapping_add(a.wrapping_mul(m));
+            }
+            *out_word = (acc >> self.spec.frac_bits) as i32;
+        }
+        trace.adc_conversions += (LANES * DIGITS_PER_WORD * DIGITS_PER_WORD) as u32;
+        trace.adc_bits_used = AnalogSpec::required_adc_bits(max_partial.max(1));
+        Ok(out)
+    }
+
+    /// In-situ element-wise multiply: operand `a` resident in the array,
+    /// operand `b` streamed 2 bits per cycle through the *bit-line* DACs
+    /// (the new capability this architecture adds over ISAAC, §2.2).
+    fn in_situ_mul(
+        &mut self,
+        a: Addr,
+        b: Addr,
+        trace: &mut OpTrace,
+    ) -> Result<[i32; LANES], RramError> {
+        trace.crossbar_active = true;
+        let a_value = self.read_addr(a);
+        let b_value = self.read_addr(b);
+        if a.is_reg() {
+            trace.regfile_accesses += 1;
+        }
+        if b.is_reg() {
+            trace.regfile_accesses += 1;
+        }
+        let mut max_partial: i64 = 0;
+        let mut out = [0i32; LANES];
+        for (lane, out_word) in out.iter_mut().enumerate() {
+            let a_digits = digits::word_to_digits(a_value[lane]);
+            let b_digits = digits::word_to_digits(b_value[lane]);
+            // Per-cell current is digit(a)·chunk(b): at most 3·3 = 9,
+            // within the 5-bit ADC range by construction.
+            let mut noise_acc: i64 = 0;
+            for (i, &da) in a_digits.iter().enumerate() {
+                for (j, &db) in b_digits.iter().enumerate() {
+                    let partial = i64::from(da) * i64::from(db) + self.adc_noise();
+                    if self.spec.noise_prob > 0.0 {
+                        let base = i64::from(da) * i64::from(db);
+                        let noise = partial - base;
+                        let weight_shift = 2 * (i + j);
+                        if noise != 0 && weight_shift < 62 {
+                            noise_acc = noise_acc.wrapping_add(noise << weight_shift);
+                        }
+                    }
+                    max_partial = max_partial.max(partial);
+                    self.spec.convert(partial)?;
+                }
+            }
+            let wide = i64::from(a_value[lane])
+                .wrapping_mul(i64::from(b_value[lane]))
+                .wrapping_add(noise_acc);
+            *out_word = (wide >> self.spec.frac_bits) as i32;
+        }
+        trace.adc_conversions += (LANES * DIGITS_PER_WORD * DIGITS_PER_WORD) as u32;
+        trace.adc_bits_used = AnalogSpec::required_adc_bits(max_partial.max(1));
+        Ok(out)
+    }
+
+    /// Reads a source for a digital-periphery op, accounting for the
+    /// read-out conversion if the source is a memory row.
+    fn read_for_periphery(&self, src: Addr, trace: &mut OpTrace) -> [i32; LANES] {
+        let value = self.read_addr(src);
+        match src {
+            Addr::Mem(_) => {
+                trace.crossbar_active = true;
+                trace.adc_conversions += (LANES * DIGITS_PER_WORD) as u32;
+                trace.adc_bits_used = trace.adc_bits_used.max(self.spec.cell_bits);
+            }
+            Addr::Reg(_) => trace.regfile_accesses += 1,
+        }
+        value
+    }
+
+    fn finish_write(&mut self, dst: Addr, value: [i32; LANES], trace: &mut OpTrace) {
+        let (row_writes, regfile_accesses) = self.write_addr(dst, value);
+        trace.row_writes += row_writes;
+        trace.regfile_accesses += regfile_accesses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LutKind;
+    use imp_isa::{Imm, LaneMask, RowMask};
+    use proptest::prelude::*;
+
+    fn array() -> ReramArray {
+        ReramArray::new(AnalogSpec::integer())
+    }
+
+    fn q16_array() -> ReramArray {
+        ReramArray::new(AnalogSpec::prototype())
+    }
+
+    #[test]
+    fn add_two_rows() {
+        let mut a = array();
+        a.write_row(0, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        a.write_row(1, &[10, 20, 30, 40, 50, 60, 70, 80]);
+        let trace = a
+            .execute_local(&Instruction::Add {
+                mask: RowMask::from_rows([0, 1]),
+                dst: Addr::mem(2),
+            })
+            .unwrap();
+        assert_eq!(a.read_row(2), [11, 22, 33, 44, 55, 66, 77, 88]);
+        assert_eq!(trace.cycles, 3);
+        assert_eq!(trace.row_writes, 1);
+        assert!(trace.crossbar_active);
+        assert_eq!(trace.adc_conversions, 128);
+    }
+
+    #[test]
+    fn add_negative_values_fours_complement() {
+        let mut a = array();
+        a.write_row_broadcast(0, -5);
+        a.write_row_broadcast(1, 3);
+        a.execute_local(&Instruction::Add { mask: RowMask::from_rows([0, 1]), dst: Addr::mem(2) })
+            .unwrap();
+        assert_eq!(a.read_word(2, 0), -2);
+    }
+
+    #[test]
+    fn nary_add_up_to_adc_limit() {
+        let mut a = array();
+        for row in 0..10 {
+            a.write_row_broadcast(row, (row + 1) as i32);
+        }
+        a.execute_local(&Instruction::Add { mask: (0..10).collect(), dst: Addr::mem(20) })
+            .unwrap();
+        assert_eq!(a.read_word(20, 0), 55);
+    }
+
+    #[test]
+    fn adc_overrange_detected() {
+        let mut a = array();
+        // Eleven rows of worst-case digits (-1 has all-3 digits) exceed the
+        // 5-bit ADC range (11 × 3 = 33 > 31).
+        for row in 0..11 {
+            a.write_row_broadcast(row, -1);
+        }
+        let result = a.execute_local(&Instruction::Add {
+            mask: (0..11).collect(),
+            dst: Addr::mem(20),
+        });
+        assert!(matches!(result, Err(RramError::AdcOverrange { .. })));
+    }
+
+    #[test]
+    fn sub_via_current_drain() {
+        let mut a = array();
+        a.write_row(0, &[10, 0, -4, 100, 7, 7, 7, 7]);
+        a.write_row(1, &[3, 5, -6, -100, 7, 8, 9, 10]);
+        a.execute_local(&Instruction::Sub {
+            minuend: RowMask::from_rows([0]),
+            subtrahend: RowMask::from_rows([1]),
+            dst: Addr::mem(2),
+        })
+        .unwrap();
+        assert_eq!(a.read_row(2), [7, -5, 2, 200, 0, -1, -2, -3]);
+    }
+
+    #[test]
+    fn mul_integer() {
+        let mut a = array();
+        a.write_row(0, &[2, -3, 4, -5, 6, 0, 1, -1]);
+        a.write_row(1, &[3, 3, -3, -3, 0, 9, 1, 1]);
+        let trace = a
+            .execute_local(&Instruction::Mul { a: Addr::mem(0), b: Addr::mem(1), dst: Addr::mem(2) })
+            .unwrap();
+        assert_eq!(a.read_row(2), [6, -9, -12, 15, 0, 0, 1, -1]);
+        assert_eq!(trace.cycles, 18);
+    }
+
+    #[test]
+    fn mul_fixed_point_q16() {
+        let mut a = q16_array();
+        let half = 1 << 15; // 0.5 in Q16.16
+        let three = 3 << 16;
+        a.write_row_broadcast(0, three);
+        a.write_row_broadcast(1, half);
+        a.execute_local(&Instruction::Mul { a: Addr::mem(0), b: Addr::mem(1), dst: Addr::mem(2) })
+            .unwrap();
+        assert_eq!(a.read_word(2, 0), 3 << 15); // 1.5
+    }
+
+    #[test]
+    fn mul_fixed_point_negative() {
+        let mut a = q16_array();
+        let minus_two = -(2 << 16);
+        let q_1_5 = 3 << 15;
+        a.write_row_broadcast(0, minus_two);
+        a.write_row_broadcast(1, q_1_5);
+        a.execute_local(&Instruction::Mul { a: Addr::mem(0), b: Addr::mem(1), dst: Addr::mem(2) })
+            .unwrap();
+        assert_eq!(a.read_word(2, 0), -(3 << 16)); // -3.0
+    }
+
+    #[test]
+    fn dot_product_accumulates() {
+        let mut a = array();
+        a.write_row_broadcast(0, 2);
+        a.write_row_broadcast(1, 3);
+        a.write_row_broadcast(2, 1);
+        a.write_reg(0, [5; LANES]);
+        a.write_reg(1, [7; LANES]);
+        a.write_reg(2, [2; LANES]);
+        let trace = a
+            .execute_local(&Instruction::Dot {
+                mask: RowMask::from_rows([0, 1, 2]),
+                reg_mask: RowMask::from_rows([0, 1, 2]),
+                dst: Addr::mem(5),
+            })
+            .unwrap();
+        // 2·5 + 3·7 + 1·2 = 33
+        assert_eq!(a.read_word(5, 0), 33);
+        assert_eq!(trace.cycles, 18);
+        assert!(trace.regfile_accesses >= 3);
+    }
+
+    #[test]
+    fn dot_multiplicand_is_per_row_scalar() {
+        // The word-line DAC streams one value per row: lane 0 of the
+        // register is broadcast to every lane (§2.2).
+        let mut a = array();
+        a.write_row(0, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        a.write_reg(0, [10, 99, 99, 99, 99, 99, 99, 99]);
+        a.execute_local(&Instruction::Dot {
+            mask: RowMask::from_rows([0]),
+            reg_mask: RowMask::from_rows([0]),
+            dst: Addr::mem(5),
+        })
+        .unwrap();
+        assert_eq!(a.read_row(5), [10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn dynamic_predication_via_mask_register() {
+        let mut a = array();
+        a.write_row(0, &[5, 5, 5, 5, 5, 5, 5, 5]);
+        a.write_row(1, &[0; LANES]);
+        // Condition: lanes 0, 2, 4 true.
+        a.write_row(2, &[1, 0, 65536, 0, -1, 0, 0, 0]);
+        a.execute_local(&Instruction::Mov {
+            src: Addr::mem(2),
+            dst: Addr::reg(imp_isa::MASK_REGISTER),
+        })
+        .unwrap();
+        assert_eq!(a.dynamic_mask(), 0b0001_0101);
+        a.execute_local(&Instruction::Movs {
+            src: Addr::mem(0),
+            dst: Addr::mem(1),
+            lane_mask: LaneMask::DYNAMIC,
+        })
+        .unwrap();
+        assert_eq!(a.read_row(1), [5, 0, 5, 0, 5, 0, 0, 0]);
+    }
+
+    #[test]
+    fn shift_and_mask() {
+        let mut a = array();
+        a.write_row_broadcast(0, 0b1011);
+        a.execute_local(&Instruction::ShiftL { src: Addr::mem(0), dst: Addr::mem(1), amount: 4 })
+            .unwrap();
+        assert_eq!(a.read_word(1, 0), 0b1011_0000);
+        a.execute_local(&Instruction::ShiftR { src: Addr::mem(1), dst: Addr::mem(2), amount: 2 })
+            .unwrap();
+        assert_eq!(a.read_word(2, 0), 0b10_1100);
+        a.execute_local(&Instruction::Mask { src: Addr::mem(2), dst: Addr::mem(3), imm: 0b1111 })
+            .unwrap();
+        assert_eq!(a.read_word(3, 0), 0b1100);
+    }
+
+    #[test]
+    fn arithmetic_right_shift_preserves_sign() {
+        let mut a = array();
+        a.write_row_broadcast(0, -16);
+        a.execute_local(&Instruction::ShiftR { src: Addr::mem(0), dst: Addr::mem(1), amount: 2 })
+            .unwrap();
+        assert_eq!(a.read_word(1, 0), -4);
+    }
+
+    #[test]
+    fn mov_between_spaces() {
+        let mut a = array();
+        a.write_row_broadcast(0, 42);
+        a.execute_local(&Instruction::Mov { src: Addr::mem(0), dst: Addr::reg(3) }).unwrap();
+        assert_eq!(a.read_reg(3), [42; LANES]);
+        a.execute_local(&Instruction::Mov { src: Addr::reg(3), dst: Addr::mem(7) }).unwrap();
+        assert_eq!(a.read_word(7, 0), 42);
+    }
+
+    #[test]
+    fn movs_predication() {
+        let mut a = array();
+        a.write_row(0, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        a.write_row(1, &[0; LANES]);
+        a.execute_local(&Instruction::Movs {
+            src: Addr::mem(0),
+            dst: Addr::mem(1),
+            lane_mask: LaneMask::from_lanes([1, 3, 5]),
+        })
+        .unwrap();
+        assert_eq!(a.read_row(1), [0, 2, 0, 4, 0, 6, 0, 0]);
+    }
+
+    #[test]
+    fn movi_broadcasts() {
+        let mut a = array();
+        let trace = a
+            .execute_local(&Instruction::Movi { dst: Addr::mem(0), imm: Imm::broadcast(-9) })
+            .unwrap();
+        assert_eq!(a.read_row(0), [-9; LANES]);
+        assert_eq!(trace.cycles, 1);
+    }
+
+    #[test]
+    fn lut_lookup() {
+        let mut a = array();
+        a.set_lut(Lut::from_fn(LutKind::Custom, |i| (i * 2 % 256) as u8));
+        a.write_row(0, &[0, 1, 2, 100, 255, 256, 511, 512]);
+        let trace =
+            a.execute_local(&Instruction::Lut { src: Addr::mem(0), dst: Addr::mem(1) }).unwrap();
+        assert_eq!(a.read_row(1), [0, 2, 4, 200, 254, 0, 254, 0]);
+        assert_eq!(trace.cycles, 4);
+        assert_eq!(trace.lut_reads, 8);
+    }
+
+    #[test]
+    fn noise_injection_perturbs_results() {
+        let noisy_spec = AnalogSpec { noise_prob: 0.2, ..AnalogSpec::integer() };
+        let mut clean = array();
+        let mut noisy = ReramArray::new(noisy_spec);
+        noisy.set_fault_seed(7);
+        for a in [&mut clean, &mut noisy] {
+            a.write_row_broadcast(0, 1000);
+            a.write_row_broadcast(1, 2345);
+        }
+        let add = Instruction::Add { mask: RowMask::from_rows([0, 1]), dst: Addr::mem(2) };
+        clean.execute_local(&add).unwrap();
+        noisy.execute_local(&add).unwrap();
+        assert_eq!(clean.read_word(2, 0), 3345);
+        // At 20% per-conversion flip probability some lane must deviate —
+        // by a small amount (±1 LSB per bit-line, power-of-four weighted).
+        let deviated = (0..LANES).any(|l| noisy.read_word(2, l) != 3345);
+        assert!(deviated, "expected at least one noisy lane");
+        // Determinism: same seed, same perturbation.
+        let mut noisy2 = ReramArray::new(noisy_spec);
+        noisy2.set_fault_seed(7);
+        noisy2.write_row_broadcast(0, 1000);
+        noisy2.write_row_broadcast(1, 2345);
+        noisy2.execute_local(&add).unwrap();
+        assert_eq!(noisy.read_row(2), noisy2.read_row(2));
+    }
+
+    #[test]
+    fn zero_noise_is_exact_fast_path() {
+        let mut a = array();
+        a.write_row_broadcast(0, 123);
+        a.write_row_broadcast(1, 456);
+        a.execute_local(&Instruction::Mul { a: Addr::mem(0), b: Addr::mem(1), dst: Addr::mem(2) })
+            .unwrap();
+        assert_eq!(a.read_word(2, 0), 123 * 456);
+    }
+
+    #[test]
+    fn network_instructions_rejected() {
+        let mut a = array();
+        let movg = Instruction::Movg {
+            src: imp_isa::GlobalAddr::new(0, 0, 0),
+            dst: imp_isa::GlobalAddr::new(0, 0, 1),
+        };
+        assert!(matches!(a.execute_local(&movg), Err(RramError::NotArrayLocal(_))));
+    }
+
+    #[test]
+    fn adc_bits_scale_with_operands() {
+        let mut a = array();
+        a.write_row_broadcast(0, 1);
+        a.write_row_broadcast(1, 1);
+        let t2 = a
+            .execute_local(&Instruction::Add { mask: RowMask::from_rows([0, 1]), dst: Addr::mem(9) })
+            .unwrap();
+        for row in 2..8 {
+            a.write_row_broadcast(row, 1);
+        }
+        let t8 = a
+            .execute_local(&Instruction::Add { mask: (0..8).collect(), dst: Addr::mem(9) })
+            .unwrap();
+        assert!(t8.adc_bits_used > t2.adc_bits_used);
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_wrapping_sum(values in prop::collection::vec(any::<i32>(), 2..8)) {
+            let mut a = array();
+            for (row, &value) in values.iter().enumerate() {
+                a.write_row_broadcast(row, value);
+            }
+            let mask: RowMask = (0..values.len()).collect();
+            // Worst-case digits may exceed strict ADC range for random data;
+            // permit clipping off and verify only when within range.
+            let result = a.execute_local(&Instruction::Add { mask, dst: Addr::mem(100) });
+            if result.is_ok() {
+                let expect = values.iter().fold(0i32, |acc, &v| acc.wrapping_add(v));
+                prop_assert_eq!(a.read_word(100, 0), expect);
+            }
+        }
+
+        #[test]
+        fn mul_matches_i32_semantics(x in -46340i32..46340, y in -46340i32..46340) {
+            let mut a = array();
+            a.write_row_broadcast(0, x);
+            a.write_row_broadcast(1, y);
+            a.execute_local(&Instruction::Mul {
+                a: Addr::mem(0), b: Addr::mem(1), dst: Addr::mem(2),
+            }).unwrap();
+            prop_assert_eq!(a.read_word(2, 0), x.wrapping_mul(y));
+        }
+
+        #[test]
+        fn dot_matches_reference_mac(
+            rows in prop::collection::vec(-1000i32..1000, 1..3),
+            weights in prop::collection::vec(-1000i32..1000, 3),
+        ) {
+            let mut a = array();
+            for (i, &v) in rows.iter().enumerate() {
+                a.write_row_broadcast(i, v);
+            }
+            for (i, &w) in weights.iter().take(rows.len()).enumerate() {
+                a.write_reg(i, [w; LANES]);
+            }
+            let k = rows.len();
+            a.execute_local(&Instruction::Dot {
+                mask: (0..k).collect(),
+                reg_mask: (0..k).collect(),
+                dst: Addr::mem(100),
+            }).unwrap();
+            let expect: i64 = rows
+                .iter()
+                .zip(&weights)
+                .map(|(&r, &w)| i64::from(r) * i64::from(w))
+                .sum();
+            prop_assert_eq!(i64::from(a.read_word(100, 0)), expect);
+        }
+
+        #[test]
+        fn fixed_point_dot_window(
+            rows in prop::collection::vec(-60000i32..60000, 1..3),
+            weights in prop::collection::vec(-60000i32..60000, 3),
+        ) {
+            // Q16.16 dot: the S+A selects the (Σ aᵢ·wᵢ) >> 16 window.
+            let mut a = q16_array();
+            for (i, &v) in rows.iter().enumerate() {
+                a.write_row_broadcast(i, v);
+            }
+            for (i, &w) in weights.iter().take(rows.len()).enumerate() {
+                a.write_reg(i, [w; LANES]);
+            }
+            let k = rows.len();
+            a.execute_local(&Instruction::Dot {
+                mask: (0..k).collect(),
+                reg_mask: (0..k).collect(),
+                dst: Addr::mem(100),
+            }).unwrap();
+            let wide: i64 = rows
+                .iter()
+                .zip(&weights)
+                .map(|(&r, &w)| i64::from(r) * i64::from(w))
+                .sum();
+            prop_assert_eq!(i64::from(a.read_word(100, 0)), wide >> 16);
+        }
+
+        #[test]
+        fn sub_matches_wrapping_sub(x in any::<i32>(), y in any::<i32>()) {
+            let mut a = array();
+            a.write_row_broadcast(0, x);
+            a.write_row_broadcast(1, y);
+            a.execute_local(&Instruction::Sub {
+                minuend: RowMask::from_rows([0]),
+                subtrahend: RowMask::from_rows([1]),
+                dst: Addr::mem(2),
+            }).unwrap();
+            prop_assert_eq!(a.read_word(2, 0), x.wrapping_sub(y));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The 128×128 crossbar of 2-bit resistive cells.
+
+use crate::digits::{self, DIGITS_PER_WORD};
+use imp_isa::{ARRAY_COLS, ARRAY_ROWS, LANES};
+
+/// One ReRAM crossbar: 128 word-lines × 128 bit-lines of 2-bit cells.
+///
+/// A row stores eight 32-bit words (SIMD lanes); lane `l` occupies bit-lines
+/// `l*16 .. (l+1)*16`, one base-4 digit per bit-line, least-significant
+/// digit on the lowest-numbered bit-line.
+///
+/// The crossbar tracks per-row write counts for the §7.5 lifetime study.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    /// `cells[row][col]` is a 2-bit digit (0..4).
+    cells: Vec<[u8; ARRAY_COLS]>,
+    /// Writes performed to each row since construction.
+    writes: Vec<u64>,
+}
+
+impl Crossbar {
+    /// Creates a zeroed crossbar.
+    pub fn new() -> Self {
+        Crossbar { cells: vec![[0; ARRAY_COLS]; ARRAY_ROWS], writes: vec![0; ARRAY_ROWS] }
+    }
+
+    /// Reads the 2-bit digit at (`row`, `col`).
+    ///
+    /// # Panics
+    /// Panics if `row` or `col` is out of range.
+    pub fn digit(&self, row: usize, col: usize) -> u8 {
+        self.cells[row][col]
+    }
+
+    /// Reads the word stored in `lane` of `row`.
+    ///
+    /// # Panics
+    /// Panics if `row >= ARRAY_ROWS` or `lane >= LANES`.
+    pub fn read_word(&self, row: usize, lane: usize) -> i32 {
+        assert!(lane < LANES, "lane {lane} out of range");
+        let base = lane * DIGITS_PER_WORD;
+        let mut word_digits = [0u8; DIGITS_PER_WORD];
+        word_digits.copy_from_slice(&self.cells[row][base..base + DIGITS_PER_WORD]);
+        digits::digits_to_word(&word_digits)
+    }
+
+    /// Reads all eight lanes of `row`.
+    pub fn read_row(&self, row: usize) -> [i32; LANES] {
+        std::array::from_fn(|lane| self.read_word(row, lane))
+    }
+
+    /// Writes one word to `lane` of `row`, counting a row write.
+    ///
+    /// # Panics
+    /// Panics if `row` or `lane` is out of range.
+    pub fn write_word(&mut self, row: usize, lane: usize, word: i32) {
+        assert!(lane < LANES, "lane {lane} out of range");
+        let base = lane * DIGITS_PER_WORD;
+        let word_digits = digits::word_to_digits(word);
+        self.cells[row][base..base + DIGITS_PER_WORD].copy_from_slice(&word_digits);
+        self.writes[row] += 1;
+    }
+
+    /// Writes all eight lanes of `row` as a single row write.
+    pub fn write_row(&mut self, row: usize, words: &[i32; LANES]) {
+        for (lane, &word) in words.iter().enumerate() {
+            let base = lane * DIGITS_PER_WORD;
+            let word_digits = digits::word_to_digits(word);
+            self.cells[row][base..base + DIGITS_PER_WORD].copy_from_slice(&word_digits);
+        }
+        // One write pulse programs the whole row.
+        self.writes[row] += 1;
+    }
+
+    /// Writes selected lanes of `row` (selective move), a single row write.
+    pub fn write_row_masked(&mut self, row: usize, words: &[i32; LANES], lane_mask: u8) {
+        for (lane, &word) in words.iter().enumerate() {
+            if (lane_mask >> lane) & 1 == 1 {
+                let base = lane * DIGITS_PER_WORD;
+                let word_digits = digits::word_to_digits(word);
+                self.cells[row][base..base + DIGITS_PER_WORD].copy_from_slice(&word_digits);
+            }
+        }
+        self.writes[row] += 1;
+    }
+
+    /// Number of write pulses row `row` has received.
+    pub fn row_writes(&self, row: usize) -> u64 {
+        self.writes[row]
+    }
+
+    /// Total write pulses across all rows.
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+
+    /// The most-written row's write count — the wear-leveling figure of
+    /// merit used by the lifetime model.
+    pub fn max_row_writes(&self) -> u64 {
+        self.writes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl Default for Crossbar {
+    fn default() -> Self {
+        Crossbar::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeroed_on_construction() {
+        let xb = Crossbar::new();
+        for row in 0..ARRAY_ROWS {
+            assert_eq!(xb.read_row(row), [0; LANES]);
+        }
+        assert_eq!(xb.total_writes(), 0);
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let mut xb = Crossbar::new();
+        xb.write_word(5, 3, -123_456);
+        assert_eq!(xb.read_word(5, 3), -123_456);
+        // Neighbouring lanes untouched.
+        assert_eq!(xb.read_word(5, 2), 0);
+        assert_eq!(xb.read_word(5, 4), 0);
+    }
+
+    #[test]
+    fn row_roundtrip_counts_one_write() {
+        let mut xb = Crossbar::new();
+        let words = [1, -2, 3, -4, 5, -6, 7, -8];
+        xb.write_row(9, &words);
+        assert_eq!(xb.read_row(9), words);
+        assert_eq!(xb.row_writes(9), 1);
+    }
+
+    #[test]
+    fn masked_write() {
+        let mut xb = Crossbar::new();
+        xb.write_row(0, &[9; LANES]);
+        xb.write_row_masked(0, &[7; LANES], 0b0000_0101);
+        assert_eq!(xb.read_row(0), [7, 9, 7, 9, 9, 9, 9, 9]);
+        assert_eq!(xb.row_writes(0), 2);
+    }
+
+    #[test]
+    fn digits_are_two_bit() {
+        let mut xb = Crossbar::new();
+        xb.write_word(0, 0, i32::MIN);
+        xb.write_word(0, 7, i32::MAX);
+        for col in 0..ARRAY_COLS {
+            assert!(xb.digit(0, col) < 4);
+        }
+    }
+
+    #[test]
+    fn wear_statistics() {
+        let mut xb = Crossbar::new();
+        for _ in 0..5 {
+            xb.write_row(1, &[0; LANES]);
+        }
+        xb.write_row(2, &[0; LANES]);
+        assert_eq!(xb.max_row_writes(), 5);
+        assert_eq!(xb.total_writes(), 6);
+    }
+
+    proptest! {
+        #[test]
+        fn any_row_roundtrips(words in prop::array::uniform8(any::<i32>()), row in 0usize..ARRAY_ROWS) {
+            let mut xb = Crossbar::new();
+            xb.write_row(row, &words);
+            prop_assert_eq!(xb.read_row(row), words);
+        }
+    }
+}

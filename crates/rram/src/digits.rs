@@ -1,0 +1,162 @@
+//! Base-4 digit codec: how 32-bit words live in 2-bit resistive cells.
+//!
+//! A 32-bit word is stored as sixteen base-4 digits, least-significant digit
+//! first, one digit per bit-line. Negative numbers are stored in
+//! 4's-complement — which, as §2.3 of the paper observes, *is* the base-4
+//! rendering of the two's-complement bit pattern, so no format conversion is
+//! ever needed: summing digit columns with shift-and-add recombination
+//! yields correct signed results modulo 2³².
+
+/// Number of base-4 digits in a 32-bit word.
+pub const DIGITS_PER_WORD: usize = 16;
+
+/// Radix of a digit (2-bit cells → 4 resistance levels).
+pub const RADIX: u32 = 4;
+
+/// Splits a word (as its two's-complement bit pattern) into base-4 digits,
+/// least significant first. Every digit is in `0..4`.
+pub fn word_to_digits(word: i32) -> [u8; DIGITS_PER_WORD] {
+    let mut bits = word as u32;
+    let mut digits = [0u8; DIGITS_PER_WORD];
+    for digit in &mut digits {
+        *digit = (bits & 0b11) as u8;
+        bits >>= 2;
+    }
+    digits
+}
+
+/// Recombines base-4 digits into a word: `Σ dᵢ·4ⁱ mod 2³²`, reinterpreted
+/// as two's complement.
+pub fn digits_to_word(digits: &[u8; DIGITS_PER_WORD]) -> i32 {
+    let mut bits: u32 = 0;
+    for (i, &digit) in digits.iter().enumerate() {
+        debug_assert!(digit < 4, "digit out of range");
+        bits |= u32::from(digit) << (2 * i);
+    }
+    bits as i32
+}
+
+/// Recombines *unbounded* per-digit partial sums into a word via the
+/// shift-and-add datapath: `Σ pᵢ·4ⁱ mod 2³²`.
+///
+/// This is the digital model of the S+A unit: each bit-line delivers a
+/// partial sum `pᵢ` (possibly larger than one digit, possibly negative for
+/// subtraction) and the shift-and-add unit accumulates them with the proper
+/// power-of-four weight. Working modulo 2³² makes n-ary addition of
+/// 4's-complement values produce exactly the two's-complement result.
+pub fn combine_partial_sums(partials: &[i64]) -> i32 {
+    let mut acc: u64 = 0;
+    for (i, &partial) in partials.iter().enumerate() {
+        let weighted = (partial as u64).wrapping_shl((2 * i) as u32);
+        acc = acc.wrapping_add(weighted);
+    }
+    (acc as u32) as i32
+}
+
+/// Recombines partial sums with full 64-bit precision and applies an
+/// arithmetic right shift — the datapath for `mul`/`dot`, where the S+A
+/// output register holds the wide product before the aligned 32-bit window
+/// is written back.
+pub fn combine_partial_sums_shifted(partials: &[i64], shift_right: u8) -> i32 {
+    let mut acc: i64 = 0;
+    for (i, &partial) in partials.iter().enumerate() {
+        acc = acc.wrapping_add(partial.wrapping_shl((2 * i) as u32));
+    }
+    (acc >> shift_right) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_words() {
+        assert_eq!(word_to_digits(0), [0; DIGITS_PER_WORD]);
+        let digits = word_to_digits(0b11_10_01);
+        assert_eq!(&digits[..3], &[1, 2, 3]);
+        assert_eq!(digits_to_word(&digits), 0b11_10_01);
+    }
+
+    #[test]
+    fn negative_is_fours_complement() {
+        // -1 in two's complement is all ones; in base 4 that is all 3s —
+        // exactly the 4's complement of 1. §2.3's equivalence claim.
+        assert_eq!(word_to_digits(-1), [3; DIGITS_PER_WORD]);
+        assert_eq!(digits_to_word(&[3; DIGITS_PER_WORD]), -1);
+    }
+
+    #[test]
+    fn column_sum_equals_word_sum() {
+        // Summing digit columns of several words and recombining equals the
+        // wrapping sum of the words — the in-situ add correctness argument.
+        let words = [17, -250, 1_000_000, -7, i32::MAX, i32::MIN + 3];
+        let mut partials = [0i64; DIGITS_PER_WORD];
+        for &word in &words {
+            let digits = word_to_digits(word);
+            for (partial, digit) in partials.iter_mut().zip(digits) {
+                *partial += i64::from(digit);
+            }
+        }
+        let expect = words.iter().fold(0i32, |acc, &w| acc.wrapping_add(w));
+        assert_eq!(combine_partial_sums(&partials), expect);
+    }
+
+    #[test]
+    fn shifted_combine_is_wide() {
+        // 3 << 30 squared needs > 32 bits; the wide path keeps them.
+        let a: i64 = 123_456;
+        let partials = [a; 1];
+        assert_eq!(combine_partial_sums_shifted(&partials, 0), 123_456);
+        assert_eq!(combine_partial_sums_shifted(&partials, 3), 123_456 >> 3);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(word in any::<i32>()) {
+            prop_assert_eq!(digits_to_word(&word_to_digits(word)), word);
+        }
+
+        #[test]
+        fn nary_column_addition_matches_wrapping_sum(words in prop::collection::vec(any::<i32>(), 1..32)) {
+            let mut partials = [0i64; DIGITS_PER_WORD];
+            for &word in &words {
+                let digits = word_to_digits(word);
+                for (partial, digit) in partials.iter_mut().zip(digits) {
+                    *partial += i64::from(digit);
+                }
+            }
+            let expect = words.iter().fold(0i32, |acc, &w| acc.wrapping_add(w));
+            prop_assert_eq!(combine_partial_sums(&partials), expect);
+        }
+
+        #[test]
+        fn column_subtraction_matches_wrapping_sub(a in any::<i32>(), b in any::<i32>()) {
+            // Subtrahend digits drain current: partial = digit(a) - digit(b).
+            let da = word_to_digits(a);
+            let db = word_to_digits(b);
+            let partials: Vec<i64> =
+                da.iter().zip(db).map(|(&x, y)| i64::from(x) - i64::from(y)).collect();
+            prop_assert_eq!(combine_partial_sums(&partials), a.wrapping_sub(b));
+        }
+
+        #[test]
+        fn digit_products_match_multiplication(a in any::<i32>(), b in -65536i32..65536) {
+            // Streaming multiplicand chunks: Σᵢⱼ dᵢ(a)·dⱼ(b)·4^(i+j) = a·b.
+            // Model per bit-line i the partial Σⱼ dᵢ(a)·dⱼ(b)·4ʲ.
+            let da = word_to_digits(a);
+            let db = word_to_digits(b);
+            let partials: Vec<i64> = da
+                .iter()
+                .map(|&x| {
+                    db.iter()
+                        .enumerate()
+                        .map(|(j, &y)| i64::from(x) * i64::from(y) * (1i64 << (2 * j)))
+                        .sum()
+                })
+                .collect();
+            let wide = i64::from(a).wrapping_mul(i64::from(b));
+            prop_assert_eq!(combine_partial_sums(&partials), wide as u32 as i32);
+        }
+    }
+}

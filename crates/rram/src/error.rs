@@ -1,0 +1,46 @@
+use std::fmt;
+
+/// Errors from the ReRAM substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RramError {
+    /// An instruction that needs chip-level handling (`movg`, `reduce_sum`)
+    /// was submitted for array-local execution.
+    NotArrayLocal(&'static str),
+    /// An n-ary operation activated more rows than the ADC resolution
+    /// permits without clipping, and the spec forbids clipping.
+    AdcOverrange {
+        /// Worst-case per-bit-line partial sum of the operation.
+        partial_sum: i64,
+        /// Largest representable partial sum at the configured resolution.
+        limit: i64,
+    },
+    /// A LUT index was outside `0..LUT_ENTRIES` and the spec forbids
+    /// wrapping.
+    LutIndexOutOfRange(i64),
+    /// A fixed-point conversion overflowed the 32-bit word.
+    FixedOverflow(f64),
+    /// Two fixed-point operands had different Q formats.
+    QFormatMismatch(u8, u8),
+}
+
+impl fmt::Display for RramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RramError::NotArrayLocal(op) => {
+                write!(f, "instruction `{op}` requires chip-level execution")
+            }
+            RramError::AdcOverrange { partial_sum, limit } => {
+                write!(f, "ADC over-range: partial sum {partial_sum} exceeds limit {limit}")
+            }
+            RramError::LutIndexOutOfRange(index) => write!(f, "LUT index {index} out of range"),
+            RramError::FixedOverflow(value) => {
+                write!(f, "value {value} overflows the 32-bit fixed-point word")
+            }
+            RramError::QFormatMismatch(a, b) => {
+                write!(f, "fixed-point format mismatch: Q{a} vs Q{b} fraction bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RramError {}

@@ -1,0 +1,308 @@
+//! 32-bit fixed-point arithmetic with a configurable binary point.
+//!
+//! The paper adopts fixed point for in-memory computation because floating
+//! point would require exponent normalization inside the array (§2.3). The
+//! position of the binary point is a kernel-level choice trading precision
+//! against range; preventing overflow is the programmer's responsibility,
+//! aided by the dynamic-range analysis tool in `imp-dfg`.
+
+use crate::RramError;
+use std::fmt;
+
+/// A fixed-point format: the number of fraction bits in a 32-bit word.
+///
+/// `QFormat(16)` is the default Q16.16: 15 integer bits, 16 fraction bits
+/// and a sign bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QFormat(pub u8);
+
+impl QFormat {
+    /// The default Q16.16 format used by the evaluated kernels.
+    pub const Q16_16: QFormat = QFormat(16);
+    /// Pure integer format (no fraction bits).
+    pub const INTEGER: QFormat = QFormat(0);
+
+    /// Number of fraction bits.
+    pub fn frac_bits(self) -> u8 {
+        self.0
+    }
+
+    /// Smallest representable increment.
+    pub fn epsilon(self) -> f64 {
+        (2.0f64).powi(-i32::from(self.0))
+    }
+
+    /// Largest representable value.
+    pub fn max_value(self) -> f64 {
+        (i32::MAX as f64) * self.epsilon()
+    }
+
+    /// Smallest (most negative) representable value.
+    pub fn min_value(self) -> f64 {
+        (i32::MIN as f64) * self.epsilon()
+    }
+}
+
+impl Default for QFormat {
+    fn default() -> Self {
+        QFormat::Q16_16
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", 32 - u32::from(self.0), self.0)
+    }
+}
+
+/// A 32-bit fixed-point value.
+///
+/// Arithmetic wraps modulo 2³² exactly like the hardware: the in-situ
+/// adders produce the low 32 bits of the true sum, and multiplication
+/// produces the 64-bit product right-shifted by the fraction-bit count
+/// (the shift-and-add periphery selects the aligned 32-bit window).
+///
+/// ```
+/// use imp_rram::{Fixed, QFormat};
+///
+/// let q = QFormat::Q16_16;
+/// let a = Fixed::from_f64(1.5, q).unwrap();
+/// let b = Fixed::from_f64(2.25, q).unwrap();
+/// assert_eq!((a * b).to_f64(), 3.375);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fixed {
+    raw: i32,
+    format: QFormat,
+}
+
+impl Fixed {
+    /// Zero in the given format.
+    pub fn zero(format: QFormat) -> Self {
+        Fixed { raw: 0, format }
+    }
+
+    /// One in the given format.
+    pub fn one(format: QFormat) -> Self {
+        Fixed { raw: 1i32 << format.frac_bits(), format }
+    }
+
+    /// Builds a value from its raw 32-bit word.
+    pub fn from_raw(raw: i32, format: QFormat) -> Self {
+        Fixed { raw, format }
+    }
+
+    /// Converts from `f64`, rounding to the nearest representable value.
+    ///
+    /// # Errors
+    /// Returns [`RramError::FixedOverflow`] if the value is outside the
+    /// representable range (including NaN).
+    pub fn from_f64(value: f64, format: QFormat) -> Result<Self, RramError> {
+        let scaled = value * (2.0f64).powi(i32::from(format.frac_bits()));
+        let rounded = scaled.round();
+        if !rounded.is_finite() || rounded > i32::MAX as f64 || rounded < i32::MIN as f64 {
+            return Err(RramError::FixedOverflow(value));
+        }
+        Ok(Fixed { raw: rounded as i32, format })
+    }
+
+    /// Converts from `f64`, saturating at the representable range instead of
+    /// failing. NaN saturates to zero.
+    pub fn from_f64_saturating(value: f64, format: QFormat) -> Self {
+        let scaled = value * (2.0f64).powi(i32::from(format.frac_bits()));
+        let rounded = scaled.round();
+        let raw = if rounded.is_nan() {
+            0
+        } else if rounded > i32::MAX as f64 {
+            i32::MAX
+        } else if rounded < i32::MIN as f64 {
+            i32::MIN
+        } else {
+            rounded as i32
+        };
+        Fixed { raw, format }
+    }
+
+    /// Converts to `f64`.
+    pub fn to_f64(self) -> f64 {
+        (self.raw as f64) * self.format.epsilon()
+    }
+
+    /// The raw 32-bit word.
+    pub fn raw(self) -> i32 {
+        self.raw
+    }
+
+    /// The value's format.
+    pub fn format(self) -> QFormat {
+        self.format
+    }
+
+    /// Wrapping addition (the hardware behaviour).
+    pub fn wrapping_add(self, rhs: Fixed) -> Fixed {
+        debug_assert_eq!(self.format, rhs.format);
+        Fixed { raw: self.raw.wrapping_add(rhs.raw), format: self.format }
+    }
+
+    /// Wrapping subtraction.
+    pub fn wrapping_sub(self, rhs: Fixed) -> Fixed {
+        debug_assert_eq!(self.format, rhs.format);
+        Fixed { raw: self.raw.wrapping_sub(rhs.raw), format: self.format }
+    }
+
+    /// Fixed-point multiplication: the 64-bit product arithmetic-shifted
+    /// right by the fraction-bit count, truncated to 32 bits (wrapping).
+    pub fn wrapping_mul(self, rhs: Fixed) -> Fixed {
+        debug_assert_eq!(self.format, rhs.format);
+        let product = i64::from(self.raw) * i64::from(rhs.raw);
+        Fixed { raw: (product >> self.format.frac_bits()) as i32, format: self.format }
+    }
+
+    /// Checked addition: `None` on signed overflow.
+    pub fn checked_add(self, rhs: Fixed) -> Option<Fixed> {
+        if self.format != rhs.format {
+            return None;
+        }
+        self.raw.checked_add(rhs.raw).map(|raw| Fixed { raw, format: self.format })
+    }
+
+    /// Checked multiplication: `None` if the shifted product overflows.
+    pub fn checked_mul(self, rhs: Fixed) -> Option<Fixed> {
+        if self.format != rhs.format {
+            return None;
+        }
+        let product = i64::from(self.raw) * i64::from(rhs.raw);
+        let shifted = product >> self.format.frac_bits();
+        i32::try_from(shifted).ok().map(|raw| Fixed { raw, format: self.format })
+    }
+
+    /// Absolute error of this value versus a reference `f64`.
+    pub fn abs_error(self, reference: f64) -> f64 {
+        (self.to_f64() - reference).abs()
+    }
+}
+
+impl std::ops::Add for Fixed {
+    type Output = Fixed;
+    fn add(self, rhs: Fixed) -> Fixed {
+        self.wrapping_add(rhs)
+    }
+}
+
+impl std::ops::Sub for Fixed {
+    type Output = Fixed;
+    fn sub(self, rhs: Fixed) -> Fixed {
+        self.wrapping_sub(rhs)
+    }
+}
+
+impl std::ops::Mul for Fixed {
+    type Output = Fixed;
+    fn mul(self, rhs: Fixed) -> Fixed {
+        self.wrapping_mul(rhs)
+    }
+}
+
+impl std::ops::Neg for Fixed {
+    type Output = Fixed;
+    fn neg(self) -> Fixed {
+        Fixed { raw: self.raw.wrapping_neg(), format: self.format }
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conversions() {
+        let q = QFormat::Q16_16;
+        assert_eq!(Fixed::from_f64(1.0, q).unwrap().raw(), 1 << 16);
+        assert_eq!(Fixed::from_f64(-1.0, q).unwrap().raw(), -(1 << 16));
+        assert_eq!(Fixed::from_f64(0.5, q).unwrap().to_f64(), 0.5);
+        assert!(Fixed::from_f64(40000.0, q).is_err());
+        assert!(Fixed::from_f64(f64::NAN, q).is_err());
+    }
+
+    #[test]
+    fn saturating_conversion() {
+        let q = QFormat::Q16_16;
+        assert_eq!(Fixed::from_f64_saturating(1.0e9, q).raw(), i32::MAX);
+        assert_eq!(Fixed::from_f64_saturating(-1.0e9, q).raw(), i32::MIN);
+        assert_eq!(Fixed::from_f64_saturating(f64::NAN, q).raw(), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let q = QFormat::Q16_16;
+        let a = Fixed::from_f64(3.25, q).unwrap();
+        let b = Fixed::from_f64(0.75, q).unwrap();
+        assert_eq!((a + b).to_f64(), 4.0);
+        assert_eq!((a - b).to_f64(), 2.5);
+        assert_eq!((a * b).to_f64(), 2.4375);
+        assert_eq!((-a).to_f64(), -3.25);
+    }
+
+    #[test]
+    fn integer_format() {
+        let q = QFormat::INTEGER;
+        let a = Fixed::from_f64(100.0, q).unwrap();
+        let b = Fixed::from_f64(7.0, q).unwrap();
+        assert_eq!((a * b).raw(), 700);
+        assert_eq!(q.epsilon(), 1.0);
+    }
+
+    #[test]
+    fn checked_ops() {
+        let q = QFormat::Q16_16;
+        let big = Fixed::from_raw(i32::MAX, q);
+        assert!(big.checked_add(Fixed::one(q)).is_none());
+        assert!(big.checked_mul(big).is_none());
+        let a = Fixed::from_f64(2.0, q).unwrap();
+        assert_eq!(a.checked_mul(a).unwrap().to_f64(), 4.0);
+        let other = Fixed::one(QFormat(8));
+        assert!(a.checked_add(other).is_none());
+    }
+
+    #[test]
+    fn format_metadata() {
+        assert_eq!(QFormat::Q16_16.to_string(), "Q16.16");
+        assert!(QFormat::Q16_16.max_value() > 32767.0);
+        assert!(QFormat::Q16_16.min_value() <= -32768.0);
+        assert_eq!(QFormat::default(), QFormat::Q16_16);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_within_epsilon(value in -30000.0f64..30000.0) {
+            let q = QFormat::Q16_16;
+            let fixed = Fixed::from_f64(value, q).unwrap();
+            prop_assert!(fixed.abs_error(value) <= q.epsilon() / 2.0 + 1e-12);
+        }
+
+        #[test]
+        fn mul_matches_f64_within_tolerance(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+            let q = QFormat::Q16_16;
+            let fa = Fixed::from_f64(a, q).unwrap();
+            let fb = Fixed::from_f64(b, q).unwrap();
+            let product = fa.wrapping_mul(fb);
+            // Error bound: input quantization (|b|+|a|)·ε/2 plus truncation ε.
+            let bound = (a.abs() + b.abs() + 2.0) * q.epsilon();
+            prop_assert!(product.abs_error(a * b) <= bound);
+        }
+
+        #[test]
+        fn add_matches_integer_add(a in any::<i32>(), b in any::<i32>()) {
+            let q = QFormat::Q16_16;
+            let sum = Fixed::from_raw(a, q) + Fixed::from_raw(b, q);
+            prop_assert_eq!(sum.raw(), a.wrapping_add(b));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+use std::fmt;
+
+/// Errors from simulated execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A named input tensor was not supplied.
+    MissingInput(String),
+    /// An input tensor's element count disagrees with the compiled
+    /// layout.
+    InputShape {
+        /// Input name.
+        name: String,
+        /// What the kernel expected.
+        expect: String,
+        /// What was provided.
+        got: String,
+    },
+    /// The kernel needs more arrays than the simulated chip provides in
+    /// one round and rounds were disabled.
+    OutOfArrays {
+        /// Arrays required.
+        needed: usize,
+        /// Arrays available.
+        available: usize,
+    },
+    /// An array-level fault surfaced (ADC over-range etc.).
+    Array(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingInput(name) => write!(f, "input `{name}` was not supplied"),
+            SimError::InputShape { name, expect, got } => {
+                write!(f, "input `{name}`: expected {expect}, got {got}")
+            }
+            SimError::OutOfArrays { needed, available } => {
+                write!(f, "kernel needs {needed} arrays; chip has {available}")
+            }
+            SimError::Array(msg) => write!(f, "array fault: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<imp_rram::RramError> for SimError {
+    fn from(err: imp_rram::RramError) -> Self {
+        SimError::Array(err.to_string())
+    }
+}

@@ -1,0 +1,47 @@
+//! # imp-sim — the chip-level simulator
+//!
+//! Executes kernels compiled by `imp-compiler` on a simulated IMP chip:
+//! ReRAM arrays from `imp-rram`, the H-tree interconnect from `imp-noc`,
+//! the SIMD multicast execution model of §4 (instances packed eight per
+//! array, one lane each; identical IBs of different instances share an
+//! array and an instruction buffer), and the Table 4 energy/area model.
+//!
+//! The paper's own methodology note (§6) holds here exactly: arrays
+//! execute in order with deterministic latencies, communication is rare,
+//! and the compiler schedules statically — so performance is the static
+//! schedule replayed over the instance rounds, while *functional* results
+//! come from digit-level execution of every instruction on live arrays.
+//!
+//! ## Example
+//!
+//! ```
+//! use imp_dfg::{GraphBuilder, Shape, Tensor};
+//! use imp_compiler::{compile, CompileOptions};
+//! use imp_sim::{Machine, SimConfig};
+//!
+//! let mut g = GraphBuilder::new();
+//! let x = g.placeholder("x", Shape::vector(16)).unwrap();
+//! let y = g.square(x).unwrap();
+//! g.fetch(y);
+//! let graph = g.finish();
+//! let kernel = compile(&graph, &CompileOptions::default()).unwrap();
+//!
+//! let mut machine = Machine::new(SimConfig::functional());
+//! let data = Tensor::from_fn(Shape::vector(16), |i| i as f64);
+//! let report = machine
+//!     .run(&kernel, &[("x".to_string(), data)].into_iter().collect())
+//!     .unwrap();
+//! let out = &report.outputs[&y];
+//! assert!((out.data()[3] - 9.0).abs() < 1e-3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod energy;
+mod error;
+pub mod lifetime;
+mod machine;
+
+pub use error::SimError;
+pub use machine::{Machine, RunReport, SimConfig, TraceEvent};

@@ -1,0 +1,823 @@
+//! Functional + timing execution of compiled kernels.
+
+use crate::energy::{ArrayPower, EnergyBreakdown, EnergyMeter};
+use crate::lifetime;
+use crate::SimError;
+use imp_compiler::module::{as_cross_ib, as_output_slot, OutputLoc, RegBinding};
+use imp_compiler::{ChipCapacity, CompiledKernel, InputBinding};
+use imp_dfg::{NodeId, Shape, Tensor};
+use imp_isa::{Instruction, LANES};
+use imp_noc::{HTreeTopology, Network, NocConfig, NocStats};
+use imp_rram::{AnalogSpec, Fixed, ReramArray, ARRAY_CYCLE_S};
+use imp_compiler::ParallelSpec;
+use std::collections::HashMap;
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Chip capacity (tiles/clusters/arrays/lanes).
+    pub capacity: ChipCapacity,
+    /// Analog periphery of every array.
+    pub analog: AnalogSpec,
+    /// Network timing parameters.
+    pub noc: NocConfig,
+    /// Record a per-instruction execution trace of the first instance
+    /// group (issue cycle, IB, instruction, lane-0 result) in
+    /// [`RunReport::trace`]. Off by default: traces are large.
+    pub trace: bool,
+}
+
+impl SimConfig {
+    /// The paper's 4,096-tile chip.
+    pub fn paper() -> Self {
+        SimConfig {
+            capacity: ChipCapacity::paper(),
+            analog: AnalogSpec::prototype(),
+            noc: NocConfig::default(),
+            trace: false,
+        }
+    }
+
+    /// A 64-tile configuration for fast functional testing.
+    pub fn functional() -> Self {
+        SimConfig {
+            capacity: ChipCapacity::small(),
+            analog: AnalogSpec::prototype(),
+            noc: NocConfig::default(),
+            trace: false,
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::functional()
+    }
+}
+
+/// External-I/O bandwidth assumed for data loading into the arrays, in
+/// bytes per second (the H-tree root gives "high-bandwidth communication
+/// for external I/O", §2.1; 100 GB/s is DDR4-class).
+pub const EXTERNAL_IO_BYTES_PER_S: f64 = 100.0e9;
+
+/// One traced instruction execution (first instance group only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Statically scheduled issue cycle.
+    pub cycle: u64,
+    /// Instruction block.
+    pub ib: usize,
+    /// The instruction executed.
+    pub instruction: Instruction,
+    /// Lane-0 value of the destination after execution (local writes
+    /// only; `None` for network instructions).
+    pub lane0_result: Option<i32>,
+}
+
+/// Results and measurements of one kernel execution.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Output tensors keyed by fetched node. Per-instance outputs have
+    /// shape `[k, n]` (or `[n]` when the module produces one element, or
+    /// the `[h, w]` grid for stencil kernels); reduced outputs have shape
+    /// `[k]`.
+    pub outputs: HashMap<NodeId, Tensor>,
+    /// Variable write-backs produced by `Assign`/`AssignAdd` outputs.
+    pub variable_updates: HashMap<String, Tensor>,
+    /// Module instances executed.
+    pub instances: usize,
+    /// Kernel invocations (rounds) needed on this chip.
+    pub rounds: u64,
+    /// Total array cycles (rounds × module latency + reduction tail).
+    pub cycles: u64,
+    /// Estimated array cycles spent loading input rows through external
+    /// I/O when IMP is used as an accelerator (§7.3 observes loading can
+    /// reach 4× kernel time). Zero-cost in the memory-integrated
+    /// scenario.
+    pub load_cycles: u64,
+    /// Wall-clock seconds at the 20 MHz array clock.
+    pub seconds: f64,
+    /// Activity-based energy.
+    pub energy: EnergyBreakdown,
+    /// Average power (energy / time).
+    pub avg_power_w: f64,
+    /// Average ADC resolution used, in bits.
+    pub avg_adc_bits: f64,
+    /// Network statistics.
+    pub noc: NocStats,
+    /// Row writes per module execution on the busiest array (wear).
+    pub writes_per_exec: u64,
+    /// §7.5 lifetime estimate under continuous execution.
+    pub lifetime_years: f64,
+    /// Instructions executed across all arrays.
+    pub instructions_executed: u64,
+    /// Per-instruction trace of the first instance group, when
+    /// [`SimConfig::trace`] is set.
+    pub trace: Option<Vec<TraceEvent>>,
+}
+
+/// The simulated chip.
+#[derive(Debug)]
+pub struct Machine {
+    config: SimConfig,
+    network: Network,
+}
+
+impl Machine {
+    /// Creates a machine.
+    pub fn new(config: SimConfig) -> Self {
+        let topology = HTreeTopology::new(config.capacity.tiles, 8);
+        let network = Network::new(topology, config.noc);
+        Machine { config, network }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Executes `kernel` over `inputs` (placeholder *and* variable
+    /// tensors, keyed by name).
+    ///
+    /// # Errors
+    /// Missing/ill-shaped inputs, array faults (e.g. ADC over-range), or
+    /// a kernel wider than the simulated chip.
+    pub fn run(
+        &mut self,
+        kernel: &CompiledKernel,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<RunReport, SimError> {
+        self.network.reset();
+        let format = kernel.format;
+        let instances = kernel.parallel.instances();
+        let num_ibs = kernel.ibs.len().max(1);
+        let available_arrays = self.config.capacity.arrays();
+        if num_ibs > available_arrays {
+            return Err(SimError::OutOfArrays { needed: num_ibs, available: available_arrays });
+        }
+        let groups_total = instances.div_ceil(LANES).max(1);
+        let groups_per_round = (available_arrays / num_ibs).max(1).min(groups_total);
+        let rounds = groups_total.div_ceil(groups_per_round) as u64;
+
+        // Quantize inputs once.
+        let mut raw_inputs: HashMap<String, (Vec<i32>, Shape)> = HashMap::new();
+        for (name, tensor) in inputs {
+            let raw = tensor
+                .data()
+                .iter()
+                .map(|&v| Fixed::from_f64_saturating(v, format).raw())
+                .collect();
+            raw_inputs.insert(name.clone(), (raw, tensor.shape().clone()));
+        }
+
+        let power = ArrayPower::from_table4();
+        let mut meter = EnergyMeter::new();
+        let mut instructions_executed = 0u64;
+        let mut writes_per_exec = 0u64;
+        // Reduction accumulators (wrapping 32-bit adds, as the router
+        // shift-and-add units perform).
+        let n_slots = kernel
+            .outputs
+            .iter()
+            .flat_map(|o| o.locs.iter())
+            .filter_map(|loc| match loc {
+                OutputLoc::Reduced { slot } => Some(slot + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let mut reduce_acc = vec![0i32; n_slots];
+        let mut trace: Option<Vec<TraceEvent>> = self.config.trace.then(Vec::new);
+        // Per-instance output buffers: (output idx, elem idx) → values.
+        let mut out_values: Vec<Vec<f64>> = kernel
+            .outputs
+            .iter()
+            .map(|o| vec![0.0; o.locs.len() * instances])
+            .collect();
+
+        for group in 0..groups_total {
+            let valid_lanes = (instances - group * LANES).min(LANES);
+            let mut arrays = self.build_group(kernel, group, valid_lanes, &raw_inputs, instances)?;
+            // The round this group belongs to (for network timestamps).
+            let round = (group / groups_per_round) as u64;
+            let group_in_round = group % groups_per_round;
+            let round_base_net =
+                round * kernel.module_latency().max(1) * imp_noc::NET_CYCLES_PER_ARRAY_CYCLE;
+            for entry in &kernel.schedule.entries {
+                let inst = kernel.ibs[entry.ib].block.instructions()[entry.index];
+                instructions_executed += 1;
+                let mut lane0_result = None;
+                match inst {
+                    Instruction::Movg { src, dst } => {
+                        let (src_ib, src_row) =
+                            as_cross_ib(src).expect("virtual movg source");
+                        let (dst_ib, dst_row) =
+                            as_cross_ib(dst).expect("virtual movg destination");
+                        let value = arrays[src_ib].read_row(src_row as usize);
+                        arrays[dst_ib].write_row(dst_row as usize, &value);
+                        let src_tile = self.tile_of(group_in_round, num_ibs, src_ib);
+                        let dst_tile = self.tile_of(group_in_round, num_ibs, dst_ib);
+                        let now = round_base_net
+                            + entry.start * imp_noc::NET_CYCLES_PER_ARRAY_CYCLE;
+                        self.network.send(src_tile, dst_tile, 32, now);
+                    }
+                    Instruction::ReduceSum { src, dst } => {
+                        let slot = as_output_slot(dst).expect("virtual reduce target");
+                        let row = arrays[entry.ib].read_row(src.index());
+                        for &value in row.iter().take(valid_lanes) {
+                            reduce_acc[slot] = reduce_acc[slot].wrapping_add(value);
+                        }
+                    }
+                    ref local => {
+                        let op_trace = arrays[entry.ib].execute_local(local)?;
+                        meter.record_op(&op_trace, &power);
+                        if group == 0 {
+                            lane0_result = local.local_dst().map(|dst| match dst {
+                                imp_isa::Addr::Mem(row) => {
+                                    arrays[entry.ib].read_word(row as usize, 0)
+                                }
+                                imp_isa::Addr::Reg(reg) => {
+                                    arrays[entry.ib].read_reg(reg as usize)[0]
+                                }
+                            });
+                        }
+                    }
+                }
+                if group == 0 {
+                    if let Some(events) = trace.as_mut() {
+                        events.push(TraceEvent {
+                            cycle: entry.start,
+                            ib: entry.ib,
+                            instruction: inst,
+                            lane0_result,
+                        });
+                    }
+                }
+            }
+            // Harvest per-instance outputs.
+            for (out_idx, output) in kernel.outputs.iter().enumerate() {
+                for (elem, loc) in output.locs.iter().enumerate() {
+                    if let OutputLoc::Row { ib, row } = *loc {
+                        let values = arrays[ib].read_row(row as usize);
+                        for (lane, &word) in values.iter().enumerate().take(valid_lanes) {
+                            let instance = group * LANES + lane;
+                            out_values[out_idx][elem * instances + instance] =
+                                Fixed::from_raw(word, format).to_f64();
+                        }
+                    }
+                }
+            }
+            let wear = arrays
+                .iter()
+                .map(|a| a.crossbar().total_writes())
+                .max()
+                .unwrap_or(0);
+            writes_per_exec = writes_per_exec.max(wear);
+        }
+
+        // One in-network reduction per round, over the tiles the round's
+        // groups occupy (for timing/energy of the H-tree adder tree).
+        let mut reduce_tail_cycles = 0u64;
+        if n_slots > 0 {
+            let tiles: Vec<usize> = (0..groups_per_round)
+                .map(|g| self.tile_of(g, num_ibs, 0))
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            let done = self.network.reduce(&tiles, 0, 32 * n_slots, 0);
+            reduce_tail_cycles = imp_noc::net_to_array_cycles(done);
+        }
+        meter.record_noc(&self.network.stats());
+
+        let cycles = rounds * kernel.module_latency().max(1) + reduce_tail_cycles;
+        // Accelerator-mode loading estimate: every group's input rows and
+        // register preloads stream in through the external I/O port.
+        let bytes_per_group: usize = kernel
+            .ibs
+            .iter()
+            .map(|ib| (ib.input_rows.len() + ib.reg_preloads.len()) * 32)
+            .sum();
+        let load_seconds = (bytes_per_group * groups_total) as f64 / EXTERNAL_IO_BYTES_PER_S;
+        let load_cycles = (load_seconds / ARRAY_CYCLE_S).ceil() as u64;
+        let seconds = cycles as f64 * ARRAY_CYCLE_S;
+        let energy = meter.breakdown();
+
+        // Assemble output tensors.
+        let mut outputs = HashMap::new();
+        let mut variable_updates = HashMap::new();
+        for (out_idx, output) in kernel.outputs.iter().enumerate() {
+            let k = output.locs.len();
+            let tensor = if output.locs.iter().any(|l| matches!(l, OutputLoc::Reduced { .. })) {
+                let data: Vec<f64> = output
+                    .locs
+                    .iter()
+                    .map(|loc| match loc {
+                        OutputLoc::Reduced { slot } => {
+                            Fixed::from_raw(reduce_acc[*slot], format).to_f64()
+                        }
+                        OutputLoc::Row { .. } => 0.0,
+                    })
+                    .collect();
+                Tensor::from_vec(data, Shape::vector(k)).expect("reduced output shape")
+            } else {
+                let data = out_values[out_idx].clone();
+                let shape = match kernel.parallel {
+                    ParallelSpec::Stencil { h, w } if k == 1 => Shape::matrix(h, w),
+                    ParallelSpec::Vector { n } if k == 1 => Shape::vector(n),
+                    ParallelSpec::Vector { n } => Shape::matrix(k, n),
+                    ParallelSpec::None => Shape::vector(k),
+                    ParallelSpec::Stencil { h, w } => Shape::new(vec![k, h, w]),
+                };
+                Tensor::from_vec(data, shape).expect("output shape")
+            };
+            if let Some(name) = &output.assign_to {
+                variable_updates.insert(name.clone(), tensor.clone());
+            }
+            outputs.insert(output.node, tensor);
+        }
+
+        let avg_power_w = if seconds > 0.0 { energy.total_j() / seconds } else { 0.0 };
+        Ok(RunReport {
+            outputs,
+            variable_updates,
+            instances,
+            rounds,
+            cycles,
+            load_cycles,
+            seconds,
+            energy,
+            avg_power_w,
+            avg_adc_bits: meter.avg_adc_bits(),
+            noc: self.network.stats(),
+            writes_per_exec,
+            lifetime_years: lifetime::lifetime_years(
+                writes_per_exec,
+                kernel.module_latency(),
+            ),
+            instructions_executed,
+            trace,
+        })
+    }
+
+    /// Physical tile of IB `ib` of round-local group `g` (groups packed
+    /// densely across the chip's arrays).
+    fn tile_of(&self, group_in_round: usize, num_ibs: usize, ib: usize) -> usize {
+        let arrays_per_tile =
+            self.config.capacity.clusters_per_tile * self.config.capacity.arrays_per_cluster;
+        let flat = group_in_round * num_ibs + ib;
+        (flat / arrays_per_tile) % self.config.capacity.tiles
+    }
+
+    /// Instantiates and loads the arrays of one instance group.
+    fn build_group(
+        &self,
+        kernel: &CompiledKernel,
+        group: usize,
+        valid_lanes: usize,
+        raw_inputs: &HashMap<String, (Vec<i32>, Shape)>,
+        instances: usize,
+    ) -> Result<Vec<ReramArray>, SimError> {
+        let mut analog = self.config.analog;
+        analog.frac_bits = kernel.format.frac_bits();
+        let mut arrays = Vec::with_capacity(kernel.ibs.len());
+        for (ib_index, ib) in kernel.ibs.iter().enumerate() {
+            let mut array = ReramArray::new(analog);
+            // Deterministic, distinct noise stream per physical array.
+            array.set_fault_seed((group as u64) << 16 | ib_index as u64);
+            array.set_lut(ib.lut.clone());
+            // Register preloads (broadcast across lanes; `dot` streams
+            // lane 0, per-lane values are never needed for weights).
+            for (reg, binding) in &ib.reg_preloads {
+                let raw = match binding {
+                    RegBinding::Const(raw) => *raw,
+                    RegBinding::Shared { name, flat_idx } => {
+                        let (data, _) = raw_inputs
+                            .get(name)
+                            .ok_or_else(|| SimError::MissingInput(name.clone()))?;
+                        *data.get(*flat_idx).ok_or_else(|| SimError::InputShape {
+                            name: name.clone(),
+                            expect: format!("at least {} elements", flat_idx + 1),
+                            got: format!("{} elements", data.len()),
+                        })?
+                    }
+                };
+                array.write_reg(*reg as usize, [raw; LANES]);
+            }
+            // Input rows.
+            for (row, binding) in &ib.input_rows {
+                let mut words = [0i32; LANES];
+                for (lane, word) in words.iter_mut().enumerate() {
+                    // Pad lanes beyond the data replicate the group's
+                    // first instance so non-linear ops stay in-domain;
+                    // reductions only sum valid lanes.
+                    let lane_instance = group * LANES + lane.min(valid_lanes.saturating_sub(1));
+                    *word = self.fetch_input(
+                        binding,
+                        lane_instance.min(instances.saturating_sub(1)),
+                        raw_inputs,
+                        kernel,
+                    )?;
+                }
+                array.write_row(*row as usize, &words);
+            }
+            arrays.push(array);
+        }
+        Ok(arrays)
+    }
+
+    fn fetch_input(
+        &self,
+        binding: &InputBinding,
+        instance: usize,
+        raw_inputs: &HashMap<String, (Vec<i32>, Shape)>,
+        kernel: &CompiledKernel,
+    ) -> Result<i32, SimError> {
+        let lookup = |name: &str| {
+            raw_inputs
+                .get(name)
+                .ok_or_else(|| SimError::MissingInput(name.to_string()))
+        };
+        match binding {
+            InputBinding::Element { name, intra_idx, intra_len } => {
+                let (data, _) = lookup(name)?;
+                let n = match kernel.parallel {
+                    ParallelSpec::Vector { n } => n,
+                    ParallelSpec::Stencil { h, w } => h * w,
+                    ParallelSpec::None => 1,
+                };
+                let flat = intra_idx * n + instance;
+                data.get(flat).copied().ok_or_else(|| SimError::InputShape {
+                    name: name.clone(),
+                    expect: format!("{} elements ({} intra × {} instances)", intra_len * n, intra_len, n),
+                    got: format!("{} elements", data.len()),
+                })
+            }
+            InputBinding::Shared { name, flat_idx } => {
+                let (data, _) = lookup(name)?;
+                data.get(*flat_idx).copied().ok_or_else(|| SimError::InputShape {
+                    name: name.clone(),
+                    expect: format!("at least {} elements", flat_idx + 1),
+                    got: format!("{} elements", data.len()),
+                })
+            }
+            InputBinding::Window { name, dr, dc } => {
+                let (data, shape) = lookup(name)?;
+                let (h, w) = match kernel.parallel {
+                    ParallelSpec::Stencil { h, w } => (h, w),
+                    _ => (shape.dim(0), shape.dim(1)),
+                };
+                let r = (instance / w) as isize + dr;
+                let c = (instance % w) as isize + dc;
+                if r < 0 || r >= h as isize || c < 0 || c >= w as isize {
+                    Ok(0) // SAME zero padding
+                } else {
+                    Ok(data[r as usize * w + c as usize])
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_compiler::{compile, CompileOptions, OptPolicy};
+    use imp_dfg::interp::Interpreter;
+    use imp_dfg::range::Interval;
+    use imp_dfg::{Graph, GraphBuilder};
+
+    fn run_and_compare(
+        graph: &Graph,
+        kernel: &CompiledKernel,
+        inputs: &HashMap<String, Tensor>,
+        tolerance: f64,
+    ) -> RunReport {
+        let mut machine = Machine::new(SimConfig::functional());
+        let report = machine.run(kernel, inputs).unwrap();
+        let mut interp = Interpreter::new(graph);
+        for (name, tensor) in inputs {
+            interp.feed(name, tensor.clone());
+        }
+        let golden = interp.run().unwrap();
+        for (&node, tensor) in &report.outputs {
+            let reference = &golden[&node];
+            assert_eq!(tensor.data().len(), reference.data().len(), "output size for {node}");
+            for (i, (&got, &want)) in
+                tensor.data().iter().zip(reference.data()).enumerate()
+            {
+                assert!(
+                    (got - want).abs() <= tolerance,
+                    "{node}[{i}]: simulated {got} vs reference {want}"
+                );
+            }
+        }
+        report
+    }
+
+    fn vec_input(name: &str, data: Vec<f64>) -> HashMap<String, Tensor> {
+        let shape = Shape::vector(data.len());
+        [(name.to_string(), Tensor::from_vec(data, shape).unwrap())].into_iter().collect()
+    }
+
+    #[test]
+    fn elementwise_arithmetic_matches_reference() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", Shape::vector(20)).unwrap();
+        let sq = g.square(x).unwrap();
+        let two = g.scalar(2.0);
+        let tx = g.mul(x, two).unwrap();
+        let y = g.add(sq, tx).unwrap(); // x² + 2x
+        g.fetch(y);
+        let graph = g.finish();
+        let kernel = compile(&graph, &CompileOptions::default()).unwrap();
+        let inputs = vec_input("x", (0..20).map(|i| i as f64 / 4.0 - 2.0).collect());
+        let report = run_and_compare(&graph, &kernel, &inputs, 1e-3);
+        assert_eq!(report.instances, 20);
+        assert!(report.cycles > 0);
+        assert!(report.energy.total_j() > 0.0);
+    }
+
+    #[test]
+    fn select_abs_less_match_reference() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", Shape::vector(16)).unwrap();
+        let a = g.abs(x).unwrap();
+        let zero = g.scalar(0.5);
+        let c = g.less(x, zero).unwrap();
+        let y = g.select(c, a, x).unwrap();
+        g.fetch(y);
+        let graph = g.finish();
+        let kernel = compile(&graph, &CompileOptions::default()).unwrap();
+        let inputs = vec_input("x", (0..16).map(|i| (i as f64) - 8.0).collect());
+        run_and_compare(&graph, &kernel, &inputs, 1e-3);
+    }
+
+    #[test]
+    fn division_matches_reference() {
+        let mut g = GraphBuilder::new();
+        let a = g.placeholder("a", Shape::vector(16)).unwrap();
+        let b = g.placeholder("b", Shape::vector(16)).unwrap();
+        let q = g.div(a, b).unwrap();
+        g.fetch(q);
+        let graph = g.finish();
+        let mut options = CompileOptions::default();
+        options.ranges.insert("a".into(), Interval::new(-4.0, 4.0));
+        options.ranges.insert("b".into(), Interval::new(0.5, 2.0));
+        let kernel = compile(&graph, &options).unwrap();
+        let mut inputs = vec_input("a", (0..16).map(|i| (i as f64) / 2.0 - 4.0).collect());
+        inputs.extend(vec_input("b", (0..16).map(|i| 0.5 + 1.5 * (i as f64) / 16.0).collect()));
+        run_and_compare(&graph, &kernel, &inputs, 5e-3);
+    }
+
+    #[test]
+    fn sqrt_matches_reference() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", Shape::vector(16)).unwrap();
+        let s = g.sqrt(x).unwrap();
+        g.fetch(s);
+        let graph = g.finish();
+        let mut options = CompileOptions::default();
+        options.ranges.insert("x".into(), Interval::new(0.0, 16.0));
+        let kernel = compile(&graph, &options).unwrap();
+        let inputs = vec_input("x", (0..16).map(|i| i as f64).collect());
+        // rsqrt-seeded NR: a few ×1e-2 absolute error at this range.
+        run_and_compare(&graph, &kernel, &inputs, 5e-2);
+    }
+
+    #[test]
+    fn exp_matches_reference() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", Shape::vector(16)).unwrap();
+        let e = g.exp(x).unwrap();
+        g.fetch(e);
+        let graph = g.finish();
+        let mut options = CompileOptions::default();
+        options.ranges.insert("x".into(), Interval::new(-2.0, 2.0));
+        let kernel = compile(&graph, &options).unwrap();
+        let inputs = vec_input("x", (0..16).map(|i| (i as f64) / 4.0 - 2.0).collect());
+        // 8-bit seed ⇒ ~0.5% relative accuracy; e² ≈ 7.4 ⇒ ≤ ~0.1 abs.
+        run_and_compare(&graph, &kernel, &inputs, 0.1);
+    }
+
+    #[test]
+    fn sigmoid_matches_reference() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", Shape::vector(16)).unwrap();
+        let s = g.sigmoid(x).unwrap();
+        g.fetch(s);
+        let graph = g.finish();
+        let mut options = CompileOptions::default();
+        options.ranges.insert("x".into(), Interval::new(-8.0, 8.0));
+        let kernel = compile(&graph, &options).unwrap();
+        let inputs = vec_input("x", (0..16).map(|i| (i as f64) - 8.0).collect());
+        run_and_compare(&graph, &kernel, &inputs, 0.05);
+    }
+
+    #[test]
+    fn intra_module_sum_and_dot() {
+        // y[j] = Σ_i W[j][i]·x[i] via MatMul (shared × parallel).
+        let mut g = GraphBuilder::new();
+        let w = g.placeholder("w", Shape::matrix(2, 4)).unwrap();
+        let x = g.placeholder("x", Shape::matrix(4, 24)).unwrap();
+        let y = g.matmul(w, x).unwrap();
+        g.fetch(y);
+        let graph = g.finish();
+        let kernel = compile(&graph, &CompileOptions::default()).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(
+            "w".to_string(),
+            Tensor::from_vec(
+                vec![0.5, -1.0, 2.0, 0.25, 1.0, 1.0, -0.5, 3.0],
+                Shape::matrix(2, 4),
+            )
+            .unwrap(),
+        );
+        inputs.insert(
+            "x".to_string(),
+            Tensor::from_fn(Shape::matrix(4, 24), |i| ((i % 17) as f64) / 4.0 - 2.0),
+        );
+        run_and_compare(&graph, &kernel, &inputs, 1e-2);
+    }
+
+    #[test]
+    fn cross_instance_reduction() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", Shape::new(vec![2, 40])).unwrap();
+        let r = g.sum(x, 1).unwrap();
+        g.fetch(r);
+        let graph = g.finish();
+        let kernel = compile(&graph, &CompileOptions::default()).unwrap();
+        let inputs = [(
+            "x".to_string(),
+            Tensor::from_fn(Shape::new(vec![2, 40]), |i| (i as f64) / 8.0),
+        )]
+        .into_iter()
+        .collect();
+        let report = run_and_compare(&graph, &kernel, &inputs, 1e-2);
+        assert!(report.noc.reduction_adds > 0 || report.noc.messages > 0);
+    }
+
+    #[test]
+    fn multi_ib_kernels_match_reference() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", Shape::new(vec![6, 32])).unwrap();
+        let sq = g.square(x).unwrap();
+        let s = g.sum(sq, 0).unwrap();
+        g.fetch(s);
+        let graph = g.finish();
+        let options = CompileOptions { policy: OptPolicy::MaxIlp, ..Default::default() };
+        let kernel = compile(&graph, &options).unwrap();
+        assert!(kernel.ibs.len() > 1, "MaxILP should split IBs");
+        assert!(kernel.stats.cross_ib_moves > 0);
+        let inputs = [(
+            "x".to_string(),
+            Tensor::from_fn(Shape::new(vec![6, 32]), |i| ((i % 13) as f64) / 3.0 - 2.0),
+        )]
+        .into_iter()
+        .collect();
+        let report = run_and_compare(&graph, &kernel, &inputs, 1e-2);
+        assert!(report.noc.messages > 0, "cross-IB movg should hit the network");
+    }
+
+    #[test]
+    fn stencil_convolution_matches_reference() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", Shape::matrix(8, 8)).unwrap();
+        let f = g
+            .constant(
+                Tensor::from_vec(
+                    vec![0.0, 0.125, 0.0, 0.125, 0.5, 0.125, 0.0, 0.125, 0.0],
+                    Shape::matrix(3, 3),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let y = g.conv2d(x, f).unwrap();
+        g.fetch(y);
+        let graph = g.finish();
+        let kernel = compile(&graph, &CompileOptions::default()).unwrap();
+        let inputs = [(
+            "x".to_string(),
+            Tensor::from_fn(Shape::matrix(8, 8), |i| ((i * 7) % 11) as f64 / 2.0),
+        )]
+        .into_iter()
+        .collect();
+        run_and_compare(&graph, &kernel, &inputs, 1e-2);
+    }
+
+    #[test]
+    fn variables_update() {
+        let mut g = GraphBuilder::new();
+        let v = g.variable("acc", Tensor::zeros(Shape::vector(10))).unwrap();
+        let x = g.placeholder("x", Shape::vector(10)).unwrap();
+        let u = g.assign_add(v, x).unwrap();
+        g.fetch(u);
+        let graph = g.finish();
+        let kernel = compile(&graph, &CompileOptions::default()).unwrap();
+        let mut machine = Machine::new(SimConfig::functional());
+        let mut inputs = vec_input("x", (0..10).map(f64::from).map(|v| v / 2.0).collect());
+        inputs.insert("acc".to_string(), Tensor::filled(1.0, Shape::vector(10)));
+        let report = machine.run(&kernel, &inputs).unwrap();
+        let updated = &report.variable_updates["acc"];
+        for (i, &v) in updated.data().iter().enumerate() {
+            assert!((v - (1.0 + i as f64 / 2.0)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn tracing_records_the_schedule() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", Shape::vector(8)).unwrap();
+        let sq = g.square(x).unwrap();
+        let one = g.scalar(1.0);
+        let y = g.add(sq, one).unwrap();
+        g.fetch(y);
+        let kernel = compile(&g.finish(), &CompileOptions::default()).unwrap();
+        let mut config = SimConfig::functional();
+        config.trace = true;
+        let mut machine = Machine::new(config);
+        let inputs =
+            [("x".to_string(), Tensor::filled(3.0, Shape::vector(8)))].into_iter().collect();
+        let report = machine.run(&kernel, &inputs).unwrap();
+        let trace = report.trace.as_ref().expect("trace requested");
+        assert_eq!(trace.len(), kernel.stats.total_instructions);
+        // Cycles are non-decreasing within one IB and the final write is
+        // the fetched value: 3² + 1 = 10 in Q16.16.
+        let mut last = 0;
+        for event in trace {
+            assert!(event.cycle >= last || event.ib != trace[0].ib);
+            last = event.cycle;
+        }
+        let final_write = trace
+            .iter()
+            .rev()
+            .find_map(|e| e.lane0_result)
+            .expect("some local write");
+        assert_eq!(final_write, 10 << 16);
+        // Untraced runs carry no trace.
+        let mut machine = Machine::new(SimConfig::functional());
+        let report = machine.run(&kernel, &inputs).unwrap();
+        assert!(report.trace.is_none());
+    }
+
+    #[test]
+    fn missing_input_is_error() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", Shape::vector(4)).unwrap();
+        g.fetch(x);
+        let graph = g.finish();
+        let kernel = compile(&graph, &CompileOptions::default()).unwrap();
+        let mut machine = Machine::new(SimConfig::functional());
+        let result = machine.run(&kernel, &HashMap::new());
+        assert!(matches!(result, Err(SimError::MissingInput(name)) if name == "x"));
+    }
+
+    #[test]
+    fn reduction_spans_rounds() {
+        // A cross-instance sum over more instances than one round holds:
+        // the router accumulators must carry across rounds.
+        let n = 40_000usize;
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", Shape::vector(n)).unwrap();
+        let total = g.sum(x, 0).unwrap();
+        g.fetch(total);
+        let graph = g.finish();
+        let kernel = compile(&graph, &CompileOptions::default()).unwrap();
+        let inputs = [(
+            "x".to_string(),
+            Tensor::filled(0.25, Shape::vector(n)),
+        )]
+        .into_iter()
+        .collect();
+        let mut machine = Machine::new(SimConfig::functional());
+        let report = machine.run(&kernel, &inputs).unwrap();
+        assert!(report.rounds > 1);
+        let got = report.outputs[&total].data()[0];
+        assert!((got - n as f64 * 0.25).abs() < 1.0, "sum {got}");
+    }
+
+    #[test]
+    fn rounds_scale_with_instances() {
+        let mut g = GraphBuilder::new();
+        // 64-tile functional chip: 4096 arrays × 8 lanes = 32768 slots.
+        let n = 40_000usize;
+        let x = g.placeholder("x", Shape::vector(n)).unwrap();
+        let y = g.add(x, x).unwrap();
+        g.fetch(y);
+        let graph = g.finish();
+        let kernel = compile(&graph, &CompileOptions::default()).unwrap();
+        let mut machine = Machine::new(SimConfig::functional());
+        let inputs =
+            [("x".to_string(), Tensor::from_fn(Shape::vector(n), |i| (i % 100) as f64))]
+                .into_iter()
+                .collect();
+        let report = machine.run(&kernel, &inputs).unwrap();
+        assert_eq!(report.rounds, 2);
+        assert!(report.avg_adc_bits > 0.0);
+        assert!(report.lifetime_years > 0.0);
+        // Loading estimate: 40k instances × 2 input rows × 32 B over
+        // 100 GB/s ≈ tens of µs of array time — nonzero, same order as
+        // the 2-round kernel time (the §7.3 loading observation).
+        assert!(report.load_cycles > 0);
+    }
+}

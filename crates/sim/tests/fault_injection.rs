@@ -1,0 +1,101 @@
+//! Analog-integrity integration tests: the compiler's operand caps keep
+//! strict-mode ADCs in range for *any* data, and injected process
+//! variation degrades results monotonically.
+
+use imp_compiler::{compile, CompileOptions, OptPolicy};
+use imp_dfg::{GraphBuilder, Shape, Tensor};
+use imp_rram::AnalogSpec;
+use imp_sim::{Machine, SimConfig};
+use std::collections::HashMap;
+
+/// Worst-case digit patterns: raw words of all-3 base-4 digits (-1) in
+/// every lane, through a 16-wide merged summation. The node-merging cap
+/// (10 operands at 5-bit ADCs) must keep every bit-line partial at
+/// 10 × 3 = 30 ≤ 31 even for this adversarial data.
+#[test]
+fn compiled_code_never_overranges_strict_adcs() {
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", Shape::new(vec![16, 24])).unwrap();
+    let s = g.sum(x, 0).unwrap();
+    g.fetch(s);
+    let kernel = compile(
+        &g.finish(),
+        &CompileOptions { policy: OptPolicy::MaxDlp, ..Default::default() },
+    )
+    .unwrap();
+    // -1/65536 quantizes to raw -1: all sixteen digits are 3.
+    let adversarial = Tensor::filled(-1.0 / 65536.0, Shape::new(vec![16, 24]));
+    let inputs: HashMap<String, Tensor> =
+        [("x".to_string(), adversarial)].into_iter().collect();
+    let mut machine = Machine::new(SimConfig::functional()); // strict ADCs
+    let report = machine.run(&kernel, &inputs).expect("strict mode must not over-range");
+    let out = &report.outputs[&kernel.outputs[0].node];
+    for &v in out.data() {
+        assert!((v - (-16.0 / 65536.0)).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn variation_noise_degrades_monotonically() {
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", Shape::vector(64)).unwrap();
+    let sq = g.square(x).unwrap();
+    let y = g.add(sq, x).unwrap();
+    g.fetch(y);
+    let graph = g.finish();
+    let kernel = compile(&graph, &CompileOptions::default()).unwrap();
+    let inputs: HashMap<String, Tensor> = [(
+        "x".to_string(),
+        Tensor::from_fn(Shape::vector(64), |i| (i as f64) / 8.0 - 4.0),
+    )]
+    .into_iter()
+    .collect();
+
+    let mut errors = Vec::new();
+    let mut reference: Option<Tensor> = None;
+    for &p in &[0.0, 1e-5, 1e-3, 1e-1] {
+        let mut config = SimConfig::functional();
+        config.analog = AnalogSpec { noise_prob: p, ..AnalogSpec::prototype() };
+        let mut machine = Machine::new(config);
+        let report = machine.run(&kernel, &inputs).unwrap();
+        let out = report.outputs[&kernel.outputs[0].node].clone();
+        match &reference {
+            None => {
+                reference = Some(out);
+                errors.push(0.0);
+            }
+            Some(clean) => errors.push(clean.max_abs_diff(&out)),
+        }
+    }
+    assert_eq!(errors[0], 0.0);
+    assert!(
+        errors[3] > errors[1],
+        "heavy noise {} must beat light noise {}",
+        errors[3],
+        errors[1]
+    );
+    assert!(errors[3] > 0.0, "10% conversion noise must visibly corrupt results");
+}
+
+#[test]
+fn noise_is_deterministic_per_seed() {
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", Shape::vector(32)).unwrap();
+    let y = g.square(x).unwrap();
+    g.fetch(y);
+    let kernel = compile(&g.finish(), &CompileOptions::default()).unwrap();
+    let inputs: HashMap<String, Tensor> = [(
+        "x".to_string(),
+        Tensor::from_fn(Shape::vector(32), |i| i as f64 / 4.0),
+    )]
+    .into_iter()
+    .collect();
+    let run = || {
+        let mut config = SimConfig::functional();
+        config.analog = AnalogSpec { noise_prob: 0.05, ..AnalogSpec::prototype() };
+        let mut machine = Machine::new(config);
+        let report = machine.run(&kernel, &inputs).unwrap();
+        report.outputs[&kernel.outputs[0].node].clone()
+    };
+    assert_eq!(run(), run(), "fault injection must be reproducible");
+}

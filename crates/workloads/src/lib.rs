@@ -1,0 +1,48 @@
+//! # imp-workloads — the evaluated benchmark kernels (Table 3)
+//!
+//! The paper evaluates a subset of PARSEC (CPU) and Rodinia (GPU)
+//! benchmarks, with kernels rewritten in TensorFlow (§6). This crate
+//! provides the same eight kernels as `imp-dfg` graphs plus seeded
+//! synthetic input generators:
+//!
+//! | kernel | suite | paper input shape | this repo |
+//! |---|---|---|---|
+//! | blackscholes | PARSEC | [4, 10000000] | option pricing with CNDF |
+//! | canneal | PARSEC | [2, 600, 4096] | L1 wire-length cost ([2, 48, N]) |
+//! | fluidanimate | PARSEC | [3, 17, 229900] | SPH density kernel |
+//! | streamcluster | PARSEC | [2, 128, 1000000] | L2² distance ([2, 40, N]) |
+//! | backprop | Rodinia | [16, 65536] | layer forward + sigmoid |
+//! | hotspot | Rodinia | [1024, 1024] | 5-point thermal stencil |
+//! | kmeans | Rodinia | [34, 494020] | nearest centroid (argmin) |
+//! | streamcluster_gpu | Rodinia | [2, 256, 65536] | L2² distance ([2, 48, N]) |
+//!
+//! Where a paper shape would overflow one 128-row array per module
+//! instance (canneal's 1,200 values, streamcluster's 256), the intra-
+//! module dimension is scaled to fit while keeping the same computation
+//! shape; EXPERIMENTS.md records every such substitution.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod kernels;
+
+pub use kernels::{Workload, WorkloadSuite};
+
+/// All eight evaluated workloads, PARSEC first (Table 3 order).
+pub fn all_workloads() -> Vec<Workload> {
+    vec![
+        kernels::blackscholes(),
+        kernels::canneal(),
+        kernels::fluidanimate(),
+        kernels::streamcluster(),
+        kernels::backprop(),
+        kernels::hotspot(),
+        kernels::kmeans(),
+        kernels::streamcluster_gpu(),
+    ]
+}
+
+/// Looks a workload up by name.
+pub fn workload(name: &str) -> Option<Workload> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}

@@ -1,0 +1,75 @@
+//! Runtime code selection (§5.2): the compiler generates code for several
+//! intra-module parallelism budgets, and the host picks at kernel launch
+//! using the analytical model — "the optimal code is chosen at runtime
+//! based on the analytical model and streamed in to the memory chip".
+//!
+//! This example compiles one kernel under all three policies, shows the
+//! model's per-input-size predictions, and lets the adaptive session pick.
+//!
+//! ```sh
+//! cargo run --example adaptive
+//! ```
+
+use imp::compiler::perf;
+use imp::{ChipCapacity, CompileOptions, GraphBuilder, OptPolicy, Session, Shape, SimConfig};
+
+fn build(n: usize) -> imp::Graph {
+    // Six independent chains per instance: plenty of intra-module ILP.
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", Shape::new(vec![6, n])).unwrap();
+    let sq = g.square(x).unwrap();
+    let y = g.add(sq, x).unwrap();
+    let s = g.sum(y, 0).unwrap();
+    g.fetch(s);
+    g.finish()
+}
+
+fn main() {
+    let cap = ChipCapacity::paper();
+    println!("analytical model over input sizes (total cycles on the paper chip):\n");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>12}",
+        "instances", "MaxDLP", "MaxILP", "MaxArrayUtil", "model picks"
+    );
+    for &n in &[1usize << 10, 1 << 18, 1 << 21, 1 << 24, 1 << 27] {
+        let kernels: Vec<_> = [OptPolicy::MaxDlp, OptPolicy::MaxIlp, OptPolicy::MaxArrayUtil]
+            .into_iter()
+            .map(|policy| {
+                let options = CompileOptions {
+                    policy,
+                    expected_instances: n,
+                    ..Default::default()
+                };
+                imp::compile(&build(n), &options).unwrap()
+            })
+            .collect();
+        let cycles: Vec<u64> =
+            kernels.iter().map(|k| perf::estimate(k, n, cap).total_cycles).collect();
+        let pick = perf::select_kernel(&kernels, n, cap).unwrap();
+        let names = ["MaxDLP", "MaxILP", "MaxArrayUtil"];
+        println!(
+            "{:<12} {:>14} {:>14} {:>14} {:>12}",
+            n, cycles[0], cycles[1], cycles[2], names[pick]
+        );
+    }
+
+    // The Session API does the same selection internally.
+    let n = 128;
+    let session = Session::new_adaptive(
+        build(n),
+        CompileOptions::default(),
+        SimConfig::functional(),
+    )
+    .expect("adaptive compile");
+    println!(
+        "\nadaptive session for {n} instances chose {} IBs per module,\n\
+         module latency {} cycles.",
+        session.kernel().ibs.len(),
+        session.kernel().module_latency()
+    );
+    println!(
+        "\nsmall inputs favour splitting the module across arrays (short\n\
+         latency, slots to spare); oversubscribed inputs favour one IB per\n\
+         module (fewer rounds) — the §7.4 balance Figure 15 quantifies."
+    );
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: graphs built with `imp-dfg`, compiled
+//! by `imp-compiler`, executed by `imp-sim` through the `imp::Session`
+//! front-end, validated against the reference interpreter.
+
+use imp::{
+    CompileOptions, GraphBuilder, Interpreter, OptPolicy, Session, Shape, Tensor,
+};
+use std::collections::HashMap;
+
+fn run_both(
+    g: GraphBuilder,
+    feeds: Vec<(&str, Tensor)>,
+    options: CompileOptions,
+) -> (HashMap<imp::NodeId, Tensor>, imp::RunReport) {
+    let graph = g.finish();
+    let mut interp = Interpreter::new(&graph);
+    for (name, tensor) in &feeds {
+        interp.feed(name, tensor.clone());
+    }
+    let golden = interp.run().unwrap();
+    let mut session = Session::new(graph, options).unwrap();
+    let outputs = session.run(&feeds).unwrap();
+    (golden, outputs.report().clone())
+}
+
+#[test]
+fn pipeline_of_every_op_class() {
+    // One graph touching every lowering path: arithmetic, division,
+    // sqrt, exp, sigmoid, abs, compare, select, floor-div, reductions.
+    let n = 40;
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", Shape::vector(n)).unwrap();
+    let y = g.placeholder("y", Shape::vector(n)).unwrap();
+
+    let sum = g.add(x, y).unwrap();
+    let diff = g.sub(x, y).unwrap();
+    let prod = g.mul(sum, diff).unwrap(); // x² − y²
+    let adiff = g.abs(diff).unwrap();
+    let denom_c = g.scalar(1.0);
+    let denom = g.add(adiff, denom_c).unwrap(); // ≥ 1
+    let quot = g.div(prod, denom).unwrap();
+    let root = g.sqrt(adiff).unwrap();
+    let scale = g.scalar(-0.25);
+    let e_arg = g.mul(adiff, scale).unwrap();
+    let e = g.exp(e_arg).unwrap();
+    let sig = g.sigmoid(diff).unwrap();
+    let half = g.scalar(0.5);
+    let cond = g.less(sig, half).unwrap();
+    let sel = g.select(cond, quot, root).unwrap();
+    let two = g.scalar(2.0);
+    let fd = g.floordiv(x, two).unwrap();
+    let partial = g.add(sel, e).unwrap();
+    let out = g.add(partial, fd).unwrap();
+    g.fetch(out);
+
+    let mut options = CompileOptions::default();
+    options.ranges.insert("x".into(), imp::range::Interval::new(-3.0, 3.0));
+    options.ranges.insert("y".into(), imp::range::Interval::new(-3.0, 3.0));
+
+    let xs = Tensor::from_fn(Shape::vector(n), |i| ((i as f64) * 0.37).sin() * 3.0);
+    let ys = Tensor::from_fn(Shape::vector(n), |i| ((i as f64) * 0.53).cos() * 3.0);
+    let (golden, report) = run_both(g, vec![("x", xs), ("y", ys)], options);
+
+    let want = &golden[&out];
+    let got = &report.outputs[&out];
+    for (i, (&a, &b)) in got.data().iter().zip(want.data()).enumerate() {
+        assert!((a - b).abs() < 0.08, "[{i}] chip {a} vs reference {b}");
+    }
+}
+
+#[test]
+fn multi_round_execution_is_seamless() {
+    // More instances than the small chip's slots per round.
+    let n = 40_000;
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", Shape::vector(n)).unwrap();
+    let three = g.scalar(3.0);
+    let y = g.mul(x, three).unwrap();
+    g.fetch(y);
+    let xs = Tensor::from_fn(Shape::vector(n), |i| (i % 1000) as f64 / 100.0);
+    let (golden, report) = run_both(g, vec![("x", xs)], CompileOptions::default());
+    assert!(report.rounds > 1, "expected multiple rounds, got {}", report.rounds);
+    let want = &golden[&y];
+    let got = &report.outputs[&y];
+    // Spot-check across round boundaries.
+    for i in [0usize, 4095, 4096, 32767, 32768, 39999] {
+        assert!((got.data()[i] - want.data()[i]).abs() < 1e-3, "index {i}");
+    }
+}
+
+#[test]
+fn ilp_and_dlp_policies_agree_functionally() {
+    let n = 64;
+    let make = || {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", Shape::new(vec![6, n])).unwrap();
+        let sq = g.square(x).unwrap();
+        let s = g.sum(sq, 0).unwrap();
+        g.fetch(s);
+        (g, s)
+    };
+    let xs = Tensor::from_fn(Shape::new(vec![6, n]), |i| ((i * 13) % 23) as f64 / 5.0);
+
+    let (g1, s1) = make();
+    let (_, dlp_report) = run_both(
+        g1,
+        vec![("x", xs.clone())],
+        CompileOptions { policy: OptPolicy::MaxDlp, ..Default::default() },
+    );
+    let (g2, s2) = make();
+    let (_, ilp_report) = run_both(
+        g2,
+        vec![("x", xs)],
+        CompileOptions { policy: OptPolicy::MaxIlp, ..Default::default() },
+    );
+    let a = &dlp_report.outputs[&s1];
+    let b = &ilp_report.outputs[&s2];
+    for (x, y) in a.data().iter().zip(b.data()) {
+        assert!((x - y).abs() < 1e-6, "policies diverge: {x} vs {y}");
+    }
+}
+
+#[test]
+fn reduction_pipeline_through_routers() {
+    let n = 100;
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", Shape::vector(n)).unwrap();
+    let sq = g.square(x).unwrap();
+    let total = g.sum(sq, 0).unwrap();
+    g.fetch(total);
+    let xs = Tensor::from_fn(Shape::vector(n), |i| (i as f64) / 10.0);
+    let (golden, report) = run_both(g, vec![("x", xs)], CompileOptions::default());
+    let want = golden[&total].data()[0];
+    let got = report.outputs[&total].data()[0];
+    assert!((got - want).abs() < 0.5, "reduced {got} vs {want}");
+}
+
+#[test]
+fn compile_errors_surface_cleanly() {
+    // Division without a declared range is a compile-time error, not a
+    // runtime surprise.
+    let mut g = GraphBuilder::new();
+    let a = g.placeholder("a", Shape::vector(8)).unwrap();
+    let b = g.placeholder("b", Shape::vector(8)).unwrap();
+    let q = g.div(a, b).unwrap();
+    g.fetch(q);
+    let err = Session::new(g.finish(), CompileOptions::default()).unwrap_err();
+    assert!(matches!(err, imp::Error::Compile(_)), "{err}");
+}
+
+#[test]
+fn session_reports_architecture_counters() {
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", Shape::vector(32)).unwrap();
+    let y = g.square(x).unwrap();
+    g.fetch(y);
+    let mut session = Session::new(g.finish(), CompileOptions::default()).unwrap();
+    let out = session
+        .run(&[("x", Tensor::from_fn(Shape::vector(32), |i| i as f64 / 16.0))])
+        .unwrap();
+    let report = out.report();
+    assert!(report.cycles > 0);
+    assert!(report.seconds > 0.0);
+    assert!(report.energy.total_j() > 0.0);
+    assert!(report.avg_power_w > 0.0);
+    assert!(report.avg_adc_bits > 0.0 && report.avg_adc_bits <= 5.0);
+    assert!(report.instructions_executed > 0);
+    assert!(report.writes_per_exec > 0);
+    assert!(report.lifetime_years.is_finite());
+}

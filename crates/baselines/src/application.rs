@@ -30,10 +30,26 @@ pub struct AppProfile {
 /// substitutions in EXPERIMENTS.md).
 pub fn parsec_profiles() -> Vec<AppProfile> {
     vec![
-        AppProfile { name: "blackscholes", kernel_fraction: 0.96, load_to_kernel_ratio: 0.8 },
-        AppProfile { name: "canneal", kernel_fraction: 0.80, load_to_kernel_ratio: 2.0 },
-        AppProfile { name: "fluidanimate", kernel_fraction: 0.88, load_to_kernel_ratio: 1.2 },
-        AppProfile { name: "streamcluster", kernel_fraction: 0.90, load_to_kernel_ratio: 4.0 },
+        AppProfile {
+            name: "blackscholes",
+            kernel_fraction: 0.96,
+            load_to_kernel_ratio: 0.8,
+        },
+        AppProfile {
+            name: "canneal",
+            kernel_fraction: 0.80,
+            load_to_kernel_ratio: 2.0,
+        },
+        AppProfile {
+            name: "fluidanimate",
+            kernel_fraction: 0.88,
+            load_to_kernel_ratio: 1.2,
+        },
+        AppProfile {
+            name: "streamcluster",
+            kernel_fraction: 0.90,
+            load_to_kernel_ratio: 4.0,
+        },
     ]
 }
 
@@ -115,8 +131,11 @@ mod tests {
     fn amdahl_limits_application_speedup() {
         // A 41× kernel speedup on an 88%-offloadable app lands near the
         // paper's 7.5× application speedup.
-        let profile =
-            AppProfile { name: "avg", kernel_fraction: 0.88, load_to_kernel_ratio: 1.0 };
+        let profile = AppProfile {
+            name: "avg",
+            kernel_fraction: 0.88,
+            load_to_kernel_ratio: 1.0,
+        };
         let memory = compose(&profile, 41.0, 0.02, Integration::Memory);
         let s = memory.speedup();
         assert!((6.0..=9.0).contains(&s), "memory-integrated speedup {s}");
@@ -128,8 +147,11 @@ mod tests {
 
     #[test]
     fn infinite_kernel_speedup_is_bounded_by_serial_part() {
-        let profile =
-            AppProfile { name: "x", kernel_fraction: 0.9, load_to_kernel_ratio: 0.0 };
+        let profile = AppProfile {
+            name: "x",
+            kernel_fraction: 0.9,
+            load_to_kernel_ratio: 0.0,
+        };
         let b = compose(&profile, 1e12, 0.0, Integration::Memory);
         assert!((b.speedup() - 10.0).abs() < 1e-3);
     }
@@ -147,9 +169,16 @@ mod tests {
     #[test]
     fn profiles_cover_parsec() {
         let names: Vec<_> = parsec_profiles().iter().map(|p| p.name).collect();
-        assert_eq!(names, vec!["blackscholes", "canneal", "fluidanimate", "streamcluster"]);
+        assert_eq!(
+            names,
+            vec!["blackscholes", "canneal", "fluidanimate", "streamcluster"]
+        );
         // Average offloadable fraction near the paper's 88%.
-        let avg: f64 = parsec_profiles().iter().map(|p| p.kernel_fraction).sum::<f64>() / 4.0;
+        let avg: f64 = parsec_profiles()
+            .iter()
+            .map(|p| p.kernel_fraction)
+            .sum::<f64>()
+            / 4.0;
         assert!((0.85..=0.92).contains(&avg));
     }
 

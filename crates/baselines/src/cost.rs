@@ -130,10 +130,12 @@ pub fn analyze(graph: &Graph) -> KernelCost {
                 let in_parallel = if stencil {
                     input.shape().elems() == n
                 } else {
-                    input.shape().rank() >= 1
-                        && *input.shape().dims().last().unwrap_or(&1) == n
+                    input.shape().rank() >= 1 && *input.shape().dims().last().unwrap_or(&1) == n
                 };
-                add(OpClass::Reduce, per_instance(input.shape().elems(), in_parallel));
+                add(
+                    OpClass::Reduce,
+                    per_instance(input.shape().elems(), in_parallel),
+                );
             }
             Op::MatMul | Op::Tensordot => {
                 let lhs = graph.node(node.inputs()[0]).expect("matmul lhs");
@@ -200,7 +202,9 @@ mod tests {
     fn stencil_kernels_count_per_pixel() {
         let mut g = GraphBuilder::new();
         let t = g.placeholder("t", Shape::matrix(32, 32)).unwrap();
-        let f = g.constant(imp_dfg::Tensor::filled(1.0, Shape::matrix(3, 3))).unwrap();
+        let f = g
+            .constant(imp_dfg::Tensor::filled(1.0, Shape::matrix(3, 3)))
+            .unwrap();
         let c = g.conv2d(t, f).unwrap();
         let out = g.add(c, t).unwrap();
         g.fetch(out);

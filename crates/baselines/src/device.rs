@@ -119,7 +119,12 @@ impl DeviceModel {
         let memory_s = bytes / self.mem_bw;
         let copy_s = self.copy_bw.map_or(0.0, |bw| bytes / bw);
         let kernel_s = compute_s.max(memory_s) + self.launch_overhead_s;
-        DeviceTime { compute_s, memory_s, copy_s, total_s: kernel_s + copy_s }
+        DeviceTime {
+            compute_s,
+            memory_s,
+            copy_s,
+            total_s: kernel_s + copy_s,
+        }
     }
 
     /// Energy for a run of `seconds` at the device's average power.
@@ -154,7 +159,11 @@ mod tests {
     use std::collections::HashMap;
 
     fn streaming_cost(op: OpClass, bytes_in: f64, bytes_out: f64) -> KernelCost {
-        KernelCost { ops: HashMap::from([(op, 1.0)]), bytes_in, bytes_out }
+        KernelCost {
+            ops: HashMap::from([(op, 1.0)]),
+            bytes_in,
+            bytes_out,
+        }
     }
 
     #[test]

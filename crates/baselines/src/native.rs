@@ -29,7 +29,13 @@ pub fn blackscholes(
 pub fn cndf(x: f64) -> f64 {
     let ax = x.abs();
     let k1 = 1.0 / (1.0 + 0.231_641_9 * ax);
-    let a = [0.319_381_530, -0.356_563_782, 1.781_477_937, -1.821_255_978, 1.330_274_429];
+    let a = [
+        0.319_381_530,
+        -0.356_563_782,
+        1.781_477_937,
+        -1.821_255_978,
+        1.330_274_429,
+    ];
     let mut poly = a[4];
     for &coef in a[..4].iter().rev() {
         poly = poly * k1 + coef;

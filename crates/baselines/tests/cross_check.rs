@@ -11,7 +11,10 @@ const N: usize = 64;
 fn interp_outputs(
     name: &str,
     n: usize,
-) -> (Vec<Vec<f64>>, std::collections::HashMap<String, imp_dfg::Tensor>) {
+) -> (
+    Vec<Vec<f64>>,
+    std::collections::HashMap<String, imp_dfg::Tensor>,
+) {
     let w = workload(name).unwrap();
     let (graph, outputs, _) = w.build(n);
     let inputs = w.inputs(n, 11);
@@ -20,7 +23,13 @@ fn interp_outputs(
         interp.feed(k, v.clone());
     }
     let values = interp.run().unwrap();
-    (outputs.iter().map(|id| values[id].data().to_vec()).collect(), inputs)
+    (
+        outputs
+            .iter()
+            .map(|id| values[id].data().to_vec())
+            .collect(),
+        inputs,
+    )
 }
 
 #[test]
@@ -69,8 +78,13 @@ fn streamcluster_native_matches_graph() {
 fn hotspot_native_matches_graph() {
     let side = 12;
     let (outs, inputs) = interp_outputs("hotspot", side * side);
-    let native =
-        native::hotspot(inputs["temp"].data(), inputs["power"].data(), side, 0.1, 0.05);
+    let native = native::hotspot(
+        inputs["temp"].data(),
+        inputs["power"].data(),
+        side,
+        0.1,
+        0.05,
+    );
     for (&a, &b) in outs[0].iter().zip(&native) {
         assert!((a - b).abs() < 1e-9);
     }

@@ -17,15 +17,25 @@ fn bench_array_ops(c: &mut Criterion) {
     for row in 0..10 {
         array.write_row_broadcast(row, (row as i32 + 1) * 1000);
     }
-    let add2 = Instruction::Add { mask: RowMask::from_rows([0, 1]), dst: Addr::mem(20) };
+    let add2 = Instruction::Add {
+        mask: RowMask::from_rows([0, 1]),
+        dst: Addr::mem(20),
+    };
     group.bench_function("add_2ary", |b| {
         b.iter(|| black_box(array.execute_local(black_box(&add2)).unwrap()))
     });
-    let add10 = Instruction::Add { mask: (0..10).collect(), dst: Addr::mem(21) };
+    let add10 = Instruction::Add {
+        mask: (0..10).collect(),
+        dst: Addr::mem(21),
+    };
     group.bench_function("add_10ary", |b| {
         b.iter(|| black_box(array.execute_local(black_box(&add10)).unwrap()))
     });
-    let mul = Instruction::Mul { a: Addr::mem(0), b: Addr::mem(1), dst: Addr::mem(22) };
+    let mul = Instruction::Mul {
+        a: Addr::mem(0),
+        b: Addr::mem(1),
+        dst: Addr::mem(22),
+    };
     group.bench_function("mul_streamed", |b| {
         b.iter(|| black_box(array.execute_local(black_box(&mul)).unwrap()))
     });
@@ -90,5 +100,11 @@ fn bench_native(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_array_ops, bench_compile, bench_simulate, bench_native);
+criterion_group!(
+    benches,
+    bench_array_ops,
+    bench_compile,
+    bench_simulate,
+    bench_native
+);
 criterion_main!(benches);

@@ -28,13 +28,19 @@ fn main() {
         let full = compile(&graph, &base).expect("compiles").module_latency() as f64;
         let no_merge = compile(
             &graph,
-            &CompileOptions { node_merging: false, ..base.clone() },
+            &CompileOptions {
+                node_merging: false,
+                ..base.clone()
+            },
         )
         .expect("compiles")
         .module_latency() as f64;
         let no_pipe = compile(
             &graph,
-            &CompileOptions { pipelining: false, ..base.clone() },
+            &CompileOptions {
+                pipelining: false,
+                ..base.clone()
+            },
         )
         .expect("compiles")
         .module_latency() as f64;

@@ -23,7 +23,10 @@ fn main() {
     );
     let mut base_latency = 0u64;
     for adc_bits in 3u8..=8 {
-        let analog = AnalogSpec { adc_bits, ..AnalogSpec::prototype() };
+        let analog = AnalogSpec {
+            adc_bits,
+            ..AnalogSpec::prototype()
+        };
         let options = CompileOptions {
             policy: OptPolicy::MaxDlp,
             expected_instances: n,
@@ -46,8 +49,18 @@ fn main() {
             kernel.module_latency(),
             power_scale
         );
-        emit("adc_sweep", "max_add", adc_bits, analog.max_add_operands() as f64);
-        emit("adc_sweep", "latency", adc_bits, kernel.module_latency() as f64);
+        emit(
+            "adc_sweep",
+            "max_add",
+            adc_bits,
+            analog.max_add_operands() as f64,
+        );
+        emit(
+            "adc_sweep",
+            "latency",
+            adc_bits,
+            kernel.module_latency() as f64,
+        );
         emit("adc_sweep", "power_scale", adc_bits, power_scale);
     }
     println!(

@@ -45,8 +45,18 @@ fn main() {
         );
         emit("fig12", profile.name, "memory_speedup", memory.speedup());
         emit("fig12", profile.name, "accel_speedup", accel.speedup());
-        emit("fig12", profile.name, "loading_share", accel.loading / accel.total());
-        emit("fig12", profile.name, "measured_load_ratio", measured_load_ratio);
+        emit(
+            "fig12",
+            profile.name,
+            "loading_share",
+            accel.loading / accel.total(),
+        );
+        emit(
+            "fig12",
+            profile.name,
+            "measured_load_ratio",
+            measured_load_ratio,
+        );
         memory_speedups.push(memory.speedup());
         accel_speedups.push(accel.speedup());
         offloadable.push(profile.kernel_fraction);
@@ -57,8 +67,14 @@ fn main() {
     println!("{:-<78}", "");
     println!("IMP (memory)      geomean: {mem_mean:5.2}×   (paper: 7.54×)");
     println!("IMP (accelerator) geomean: {accel_mean:5.2}×   (paper: 5.55×)");
-    println!("offloadable fraction     : {:4.0}%    (paper: 88%)", off_mean * 100.0);
+    println!(
+        "offloadable fraction     : {:4.0}%    (paper: 88%)",
+        off_mean * 100.0
+    );
     emit("fig12", "geomean", "memory", mem_mean);
     emit("fig12", "geomean", "accelerator", accel_mean);
-    assert!(mem_mean > accel_mean, "memory integration must beat accelerator mode");
+    assert!(
+        mem_mean > accel_mean,
+        "memory integration must beat accelerator mode"
+    );
 }

@@ -23,7 +23,9 @@ fn main() {
     let mut adc_bits = Vec::new();
     for w in all_workloads() {
         let (energy_per_instance, report) = measure(&w, 128, OptPolicy::MaxArrayUtil);
-        let kernel = w.compile(w.paper_instances, OptPolicy::MaxArrayUtil).expect("compiles");
+        let kernel = w
+            .compile(w.paper_instances, OptPolicy::MaxArrayUtil)
+            .expect("compiles");
         let full_load = imp_avg_power_full_load(&kernel, energy_per_instance);
         // Average over the duty cycle: arrays idle while the next round's
         // data loads (§7.3 reports loading up to 4× kernel time).
@@ -58,5 +60,8 @@ fn main() {
     emit("fig14", "summary", "imp_avg_w", avg_power);
     emit("fig14", "summary", "tdp_w", tdp);
     emit("fig14", "summary", "avg_adc_bits", avg_bits);
-    assert!(avg_power < tdp / 2.0, "average power must sit far below TDP");
+    assert!(
+        avg_power < tdp / 2.0,
+        "average power must sit far below TDP"
+    );
 }

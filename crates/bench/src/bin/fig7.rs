@@ -24,8 +24,8 @@ fn main() {
     );
     for op in microbench::OPS {
         let kernel = microbench::kernel(op, n);
-        let imp_tp = cap.simd_slots() as f64 / kernel.module_latency() as f64
-            * imp_rram::ARRAY_CLOCK_HZ;
+        let imp_tp =
+            cap.simd_slots() as f64 / kernel.module_latency() as f64 * imp_rram::ARRAY_CLOCK_HZ;
         let (bytes_in, bytes_out) = microbench::bytes(op);
         let cost = KernelCost {
             ops: HashMap::from([(microbench::op_class(op), 1.0)]),

@@ -8,7 +8,10 @@ fn main() {
     println!("{:<12} {:<38} {:>8}", "opcode", "format", "cycles");
     let rows: Vec<(Instruction, &str)> = vec![
         (
-            Instruction::Add { mask: RowMask::from_rows([0, 1]), dst: Addr::mem(2) },
+            Instruction::Add {
+                mask: RowMask::from_rows([0, 1]),
+                dst: Addr::mem(2),
+            },
             "add <mask><dst>",
         ),
         (
@@ -20,7 +23,11 @@ fn main() {
             "dot <mask><reg_mask><dst>",
         ),
         (
-            Instruction::Mul { a: Addr::mem(0), b: Addr::mem(1), dst: Addr::mem(2) },
+            Instruction::Mul {
+                a: Addr::mem(0),
+                b: Addr::mem(1),
+                dst: Addr::mem(2),
+            },
             "mul <src><src><dst>",
         ),
         (
@@ -32,18 +39,36 @@ fn main() {
             "sub <mask><mask><dst>",
         ),
         (
-            Instruction::ShiftL { src: Addr::mem(0), dst: Addr::mem(1), amount: 1 },
+            Instruction::ShiftL {
+                src: Addr::mem(0),
+                dst: Addr::mem(1),
+                amount: 1,
+            },
             "shiftl <src><dst><imm>",
         ),
         (
-            Instruction::ShiftR { src: Addr::mem(0), dst: Addr::mem(1), amount: 1 },
+            Instruction::ShiftR {
+                src: Addr::mem(0),
+                dst: Addr::mem(1),
+                amount: 1,
+            },
             "shiftr <src><dst><imm>",
         ),
         (
-            Instruction::Mask { src: Addr::mem(0), dst: Addr::mem(1), imm: 0xff },
+            Instruction::Mask {
+                src: Addr::mem(0),
+                dst: Addr::mem(1),
+                imm: 0xff,
+            },
             "mask <src><dst><imm>",
         ),
-        (Instruction::Mov { src: Addr::mem(0), dst: Addr::mem(1) }, "mov <src><dst>"),
+        (
+            Instruction::Mov {
+                src: Addr::mem(0),
+                dst: Addr::mem(1),
+            },
+            "mov <src><dst>",
+        ),
         (
             Instruction::Movs {
                 src: Addr::mem(0),
@@ -53,7 +78,10 @@ fn main() {
             "movs <src><dst><mask>",
         ),
         (
-            Instruction::Movi { dst: Addr::mem(0), imm: Imm::broadcast(0) },
+            Instruction::Movi {
+                dst: Addr::mem(0),
+                imm: Imm::broadcast(0),
+            },
             "movi <dst><imm>",
         ),
         (
@@ -63,9 +91,18 @@ fn main() {
             },
             "movg <gaddr><gaddr>",
         ),
-        (Instruction::Lut { src: Addr::mem(0), dst: Addr::mem(1) }, "lut <src><dst>"),
         (
-            Instruction::ReduceSum { src: Addr::mem(0), dst: GlobalAddr::new(0, 63, 0) },
+            Instruction::Lut {
+                src: Addr::mem(0),
+                dst: Addr::mem(1),
+            },
+            "lut <src><dst>",
+        ),
+        (
+            Instruction::ReduceSum {
+                src: Addr::mem(0),
+                dst: GlobalAddr::new(0, 63, 0),
+            },
             "reduce_sum <src><gaddr>",
         ),
     ];
@@ -74,12 +111,20 @@ fn main() {
             Latency::Fixed(c) => c.to_string(),
             Latency::Variable => "variable".to_string(),
         };
-        println!("{:<12} {:<38} {:>8}", inst.opcode().mnemonic(), format, latency);
+        println!(
+            "{:<12} {:<38} {:>8}",
+            inst.opcode().mnemonic(),
+            format,
+            latency
+        );
         if let Latency::Fixed(c) = inst.latency() {
             emit("table1", inst.opcode().mnemonic(), "cycles", f64::from(c));
         }
         let encoded = inst.encode().len();
         assert!(encoded <= Instruction::MAX_ENCODED_LEN);
     }
-    println!("\n13 instructions; encodings ≤ {} bytes.", Instruction::MAX_ENCODED_LEN);
+    println!(
+        "\n13 instructions; encodings ≤ {} bytes.",
+        Instruction::MAX_ENCODED_LEN
+    );
 }

@@ -26,14 +26,26 @@ fn main() {
             kernel.ibs.len()
         );
         emit("table3", w.name, "paper_ib_insts", w.paper_ib_insts as f64);
-        emit("table3", w.name, "our_ib_insts", kernel.stats.max_ib_instructions as f64);
-        emit("table3", w.name, "module_latency", kernel.module_latency() as f64);
+        emit(
+            "table3",
+            w.name,
+            "our_ib_insts",
+            kernel.stats.max_ib_instructions as f64,
+        );
+        emit(
+            "table3",
+            w.name,
+            "module_latency",
+            kernel.module_latency() as f64,
+        );
     }
 
     // §7.3's instruction-mix observation, e.g. "a blackscholes kernel has
     // 14% add, 21% mul, and 58% local move instructions".
-    println!("
-instruction mix (fractions of module code):");
+    println!(
+        "
+instruction mix (fractions of module code):"
+    );
     println!(
         "{:<18} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
         "benchmark", "add", "sub", "mul", "dot", "mov*", "shift*", "lut"
@@ -43,9 +55,7 @@ instruction mix (fractions of module code):");
             .compile(w.paper_instances, OptPolicy::MaxDlp)
             .expect("workload compiles");
         let mix = kernel.instruction_mix();
-        let pct = |names: &[&str]| {
-            names.iter().map(|m| mix.fraction(m)).sum::<f64>() * 100.0
-        };
+        let pct = |names: &[&str]| names.iter().map(|m| mix.fraction(m)).sum::<f64>() * 100.0;
         println!(
             "{:<18} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
             w.name,

@@ -6,7 +6,10 @@ use imp_sim::energy;
 
 fn main() {
     header("Table 4 — In-Memory Processor parameters");
-    println!("{:<14} {:<26} {:>10} {:>12}", "component", "params", "power", "area");
+    println!(
+        "{:<14} {:<26} {:>10} {:>12}",
+        "component", "params", "power", "area"
+    );
     for c in energy::tile_components() {
         println!(
             "{:<14} {:<26} {:>7.2} mW {:>9.5} mm²",
@@ -18,7 +21,10 @@ fn main() {
     let tile_p = energy::tile_power_mw();
     let tile_a = energy::tile_area_mm2();
     println!("{:-<66}", "");
-    println!("{:<41} {:>7.1} mW {:>9.4} mm²", "1 tile total (paper: 101 mW, 0.12 mm²)", tile_p, tile_a);
+    println!(
+        "{:<41} {:>7.1} mW {:>9.4} mm²",
+        "1 tile total (paper: 101 mW, 0.12 mm²)", tile_p, tile_a
+    );
     println!(
         "{:<41} {:>7.2} W  {:>9.2} mm²",
         "inter-tile routers (584)",
@@ -27,7 +33,10 @@ fn main() {
     );
     let chip_p = energy::chip_tdp_w(4096);
     let chip_a = energy::chip_area_mm2(4096);
-    println!("{:<41} {:>7.1} W  {:>9.1} mm²", "chip total (paper: 416 W, 494 mm²)", chip_p, chip_a);
+    println!(
+        "{:<41} {:>7.1} W  {:>9.1} mm²",
+        "chip total (paper: 416 W, 494 mm²)", chip_p, chip_a
+    );
     emit("table4", "tile", "power_mw", tile_p);
     emit("table4", "tile", "area_mm2", tile_a);
     emit("table4", "chip", "tdp_w", chip_p);

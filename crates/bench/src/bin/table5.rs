@@ -14,10 +14,16 @@ fn main() {
     let imp_tdp = energy::chip_tdp_w(imp.tiles);
     let imp_area = energy::chip_area_mm2(imp.tiles);
 
-    println!("{:<14} {:>16} {:>16} {:>16}", "parameter", "CPU (2-socket)", "GPU (1 card)", "IMP");
     println!(
         "{:<14} {:>16} {:>16} {:>16}",
-        "SIMD slots", cpu.simd_slots, gpu.simd_slots, imp.simd_slots()
+        "parameter", "CPU (2-socket)", "GPU (1 card)", "IMP"
+    );
+    println!(
+        "{:<14} {:>16} {:>16} {:>16}",
+        "SIMD slots",
+        cpu.simd_slots,
+        gpu.simd_slots,
+        imp.simd_slots()
     );
     println!(
         "{:<14} {:>13.2} GHz {:>13.2} GHz {:>13.2} MHz",
@@ -30,7 +36,10 @@ fn main() {
         "{:<14} {:>12.1} mm² {:>12.1} mm² {:>12.1} mm²",
         "area", cpu.area_mm2, gpu.area_mm2, imp_area
     );
-    println!("{:<14} {:>14.0} W {:>14.0} W {:>14.0} W", "TDP", cpu.tdp_w, gpu.tdp_w, imp_tdp);
+    println!(
+        "{:<14} {:>14.0} W {:>14.0} W {:>14.0} W",
+        "TDP", cpu.tdp_w, gpu.tdp_w, imp_tdp
+    );
     println!(
         "{:<14} {:>16} {:>16} {:>13} GB",
         "memory",

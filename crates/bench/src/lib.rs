@@ -133,7 +133,10 @@ pub fn latency_sweep(op: &'static str, figure: &'static str) {
         emit(figure, "cpu_omp", n, omp_s);
         emit(figure, "gpu", n, gpu_s);
         emit(figure, "imp", n, imp_s);
-        assert!(imp_s <= cpu1_s && imp_s <= omp_s, "IMP must lead at n = {n}");
+        assert!(
+            imp_s <= cpu1_s && imp_s <= omp_s,
+            "IMP must lead at n = {n}"
+        );
     }
 }
 
@@ -149,8 +152,10 @@ pub mod microbench {
     /// Panics if compilation fails (the microbenchmarks are known-good).
     pub fn kernel(op: &str, n: usize) -> CompiledKernel {
         let mut g = GraphBuilder::new();
-        let mut options =
-            CompileOptions { expected_instances: n, ..Default::default() };
+        let mut options = CompileOptions {
+            expected_instances: n,
+            ..Default::default()
+        };
         let out = match op {
             "add" => {
                 let x = g.placeholder("x", Shape::vector(n)).unwrap();
@@ -252,14 +257,21 @@ mod tests {
         let cpu = DeviceModel::cpu();
         let cpu_add = cpu.mem_bw / 12.0;
         let ratio = add / cpu_add;
-        assert!((1000.0..=4000.0).contains(&ratio), "IMP/CPU add ratio {ratio}");
+        assert!(
+            (1000.0..=4000.0).contains(&ratio),
+            "IMP/CPU add ratio {ratio}"
+        );
     }
 
     #[test]
     fn every_kernel_beats_its_baseline_at_paper_scale() {
         for w in imp_workloads::all_workloads() {
             let (speedup, imp_s, base_s) = kernel_speedup(&w, OptPolicy::MaxArrayUtil);
-            assert!(speedup > 1.0, "{}: IMP {imp_s}s vs baseline {base_s}s", w.name);
+            assert!(
+                speedup > 1.0,
+                "{}: IMP {imp_s}s vs baseline {base_s}s",
+                w.name
+            );
         }
     }
 

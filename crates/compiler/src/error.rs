@@ -33,6 +33,14 @@ pub enum CompileError {
         /// Registers the block needed.
         needed: usize,
     },
+    /// IB placement ran out of usable arrays (all remaining physical
+    /// arrays are retired).
+    OutOfArrays {
+        /// Arrays the kernel needs for one instance group.
+        needed: usize,
+        /// Usable (non-retired) arrays available.
+        usable: usize,
+    },
     /// A graph error surfaced during compilation.
     Graph(String),
 }
@@ -49,10 +57,22 @@ impl fmt::Display for CompileError {
             }
             CompileError::BadRange(msg) => write!(f, "invalid value range: {msg}"),
             CompileError::OutOfRows { ib, needed } => {
-                write!(f, "instruction block {ib} needs {needed} rows; arrays have 128")
+                write!(
+                    f,
+                    "instruction block {ib} needs {needed} rows; arrays have 128"
+                )
             }
             CompileError::OutOfRegisters { ib, needed } => {
-                write!(f, "instruction block {ib} needs {needed} registers; clusters have 128")
+                write!(
+                    f,
+                    "instruction block {ib} needs {needed} registers; clusters have 128"
+                )
+            }
+            CompileError::OutOfArrays { needed, usable } => {
+                write!(
+                    f,
+                    "placement needs {needed} arrays; only {usable} are usable"
+                )
             }
             CompileError::Graph(msg) => write!(f, "graph error: {msg}"),
         }

@@ -48,9 +48,12 @@ pub mod scalar;
 pub mod schedule;
 
 pub use error::CompileError;
-pub use module::{CompiledIb, CompiledKernel, InputBinding, InstructionMix, ModuleOutput, RegBinding};
+pub use module::{
+    CompiledIb, CompiledKernel, InputBinding, InstructionMix, ModuleOutput, RegBinding,
+};
 pub use perf::{ChipCapacity, PerfEstimate};
 pub use scalar::{ParallelSpec, ScalarModule};
+pub use schedule::{reschedule, ArrayAvailability};
 
 use imp_dfg::Graph;
 use imp_rram::QFormat;
@@ -143,6 +146,9 @@ pub fn compile(graph: &Graph, options: &CompileOptions) -> Result<CompiledKernel
     let num_ibs = partition::choose_ib_count(&module, options);
     let partitioned = partition::partition(&module, num_ibs)?;
     let lowered = lower::lower(&module, &partitioned, options)?;
-    let schedule = schedule::schedule(&lowered, options)?;
-    Ok(module::assemble_kernel(graph, module, lowered, schedule, options))
+    let avail = schedule::ArrayAvailability::all(options.capacity.arrays());
+    let schedule = schedule::schedule(&lowered, options, &avail)?;
+    Ok(module::assemble_kernel(
+        graph, module, lowered, schedule, options,
+    ))
 }

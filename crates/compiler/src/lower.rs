@@ -67,7 +67,12 @@ struct RowAlloc {
 
 impl RowAlloc {
     fn new() -> Self {
-        RowAlloc { used: [false; ARRAY_ROWS], cursor: 0, in_use: 0, peak: 0 }
+        RowAlloc {
+            used: [false; ARRAY_ROWS],
+            cursor: 0,
+            in_use: 0,
+            peak: 0,
+        }
     }
 
     fn alloc(&mut self) -> Option<u8> {
@@ -104,7 +109,11 @@ impl RegAlloc {
     fn new() -> Self {
         let mut used = [false; 128];
         used[MASK_REGISTER] = true;
-        RegAlloc { used, in_use: 0, peak: 0 }
+        RegAlloc {
+            used,
+            in_use: 0,
+            peak: 0,
+        }
     }
 
     fn alloc(&mut self) -> Option<u8> {
@@ -200,9 +209,7 @@ impl IbState {
             needed: ARRAY_ROWS + 1,
         })
     }
-
 }
-
 
 /// Whether `operand` may live in a register for this consumer: true for
 /// positions read through the digital periphery or the bit-line DACs
@@ -305,7 +312,9 @@ impl LowerCtx<'_> {
             if !self.partition.live.contains(&id) {
                 continue;
             }
-            let Some(&home) = self.partition.ib_of.get(&id) else { continue };
+            let Some(&home) = self.partition.ib_of.get(&id) else {
+                continue;
+            };
             for operand in self.module.ops[idx].operands() {
                 *self.ibs[home].remaining.entry(operand).or_insert(0) += 1;
                 // A remote producer must movg into `home`.
@@ -362,7 +371,12 @@ impl LowerCtx<'_> {
                 }
             }
             // Output leaves need a row in their home IB too.
-            if self.module.outputs.iter().any(|o| o.scalars.contains(&id) && !o.reduced) {
+            if self
+                .module
+                .outputs
+                .iter()
+                .any(|o| o.scalars.contains(&id) && !o.reduced)
+            {
                 let h = self.home_of(id);
                 if !homes.contains(&h) {
                     homes.push(h);
@@ -425,8 +439,10 @@ impl LowerCtx<'_> {
             Some(Loc::Row(row)) => Ok(row),
             Some(Loc::Reg(reg)) => {
                 let row = self.ibs[ib].alloc_row()?;
-                self.ibs[ib]
-                    .emit(Instruction::Mov { src: Addr::reg(reg as usize), dst: Addr::mem(row as usize) });
+                self.ibs[ib].emit(Instruction::Mov {
+                    src: Addr::reg(reg as usize),
+                    dst: Addr::mem(row as usize),
+                });
                 self.ibs[ib].loc.insert(id, Loc::Row(row));
                 self.ibs[ib].regs.free(reg);
                 Ok(row)
@@ -443,9 +459,9 @@ impl LowerCtx<'_> {
                     self.ibs[ib].loc.insert(id, Loc::Row(row));
                     Ok(row)
                 }
-                other => unreachable!(
-                    "scalar {id:?} ({other:?}) used in ib{ib} before being produced"
-                ),
+                other => {
+                    unreachable!("scalar {id:?} ({other:?}) used in ib{ib} before being produced")
+                }
             },
         }
     }
@@ -695,7 +711,10 @@ impl LowerCtx<'_> {
                 rows.iter().copied().zip(chunk_ws.iter().copied()).collect();
             pairs.sort_by_key(|&(row, _)| row);
             let regs = self.ibs[home].regs.alloc_block(pairs.len()).ok_or(
-                CompileError::OutOfRegisters { ib: home, needed: pairs.len() },
+                CompileError::OutOfRegisters {
+                    ib: home,
+                    needed: pairs.len(),
+                },
             )?;
             for (&(_, w), &reg) in pairs.iter().zip(&regs) {
                 self.bind_weight(home, w, reg)?;
@@ -717,9 +736,7 @@ impl LowerCtx<'_> {
         if partials.len() == 1 {
             // Rewrite in place: replace the partial with the real dest.
             let last = self.ibs[home].instructions.len() - 1;
-            if let Instruction::Dot { dst: ref mut d, .. } =
-                self.ibs[home].instructions[last]
-            {
+            if let Instruction::Dot { dst: ref mut d, .. } = self.ibs[home].instructions[last] {
                 let partial_row = partials[0];
                 *d = dst;
                 self.ibs[home].rows.free(partial_row);
@@ -768,12 +785,7 @@ impl LowerCtx<'_> {
     }
 
     /// Computes the LUT bucket index of `x` for `table` into a fresh row.
-    fn emit_index(
-        &mut self,
-        ib: usize,
-        x_row: u8,
-        table: &SeedTable,
-    ) -> Result<u8, CompileError> {
+    fn emit_index(&mut self, ib: usize, x_row: u8, table: &SeedTable) -> Result<u8, CompileError> {
         let mut cur = x_row;
         let mut scratch: Option<u8> = None;
         if table.lo_raw != 0 {
@@ -808,12 +820,7 @@ impl LowerCtx<'_> {
 
     /// Looks up the seed for `idx` and scales it to Q format:
     /// `seed_raw = entry << (frac − scale)`.
-    fn emit_seed(
-        &mut self,
-        ib: usize,
-        idx_row: u8,
-        scale: i32,
-    ) -> Result<u8, CompileError> {
+    fn emit_seed(&mut self, ib: usize, idx_row: u8, scale: i32) -> Result<u8, CompileError> {
         let seed = self.ibs[ib].alloc_row()?;
         self.ibs[ib].emit(Instruction::Lut {
             src: Addr::mem(idx_row as usize),
@@ -1138,7 +1145,10 @@ impl LowerCtx<'_> {
             dst: Addr::mem(neg as usize),
         });
         let dst = self.dest_for(id, home)?;
-        self.ibs[home].emit(Instruction::Mov { src: Addr::mem(x_row as usize), dst });
+        self.ibs[home].emit(Instruction::Mov {
+            src: Addr::mem(x_row as usize),
+            dst,
+        });
         self.ibs[home].emit(Instruction::Movs {
             src: Addr::mem(neg as usize),
             dst,
@@ -1223,8 +1233,16 @@ impl LowerCtx<'_> {
             self.ibs[home].emit(Instruction::Mov { src: x_addr, dst });
             return Ok(());
         }
-        self.ibs[home].emit(Instruction::ShiftR { src: x_addr, dst, amount: frac });
-        self.ibs[home].emit(Instruction::ShiftL { src: dst, dst, amount: frac });
+        self.ibs[home].emit(Instruction::ShiftR {
+            src: x_addr,
+            dst,
+            amount: frac,
+        });
+        self.ibs[home].emit(Instruction::ShiftL {
+            src: dst,
+            dst,
+            amount: frac,
+        });
         Ok(())
     }
 

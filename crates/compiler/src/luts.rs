@@ -158,8 +158,9 @@ impl LutAllocator {
             None => LutKind::Empty,
         };
         Lut::from_fn(kind, move |index| {
-            let Some(table) =
-                tables.iter().find(|t| index >= t.base && index < t.base + t.entries)
+            let Some(table) = tables
+                .iter()
+                .find(|t| index >= t.base && index < t.base + t.entries)
             else {
                 return 0;
             };
@@ -217,7 +218,12 @@ mod tests {
         let range = Interval::new(0.5, 2.0);
         let scale = reciprocal_scale(range);
         let table = alloc
-            .allocate(TableFn::Reciprocal { scale }, range, 16, APPROX_TABLE_ENTRIES)
+            .allocate(
+                TableFn::Reciprocal { scale },
+                range,
+                16,
+                APPROX_TABLE_ENTRIES,
+            )
             .unwrap();
         let lut = alloc.render(16);
         // Check every bucket's relative error against 1/v_mid.
@@ -244,13 +250,20 @@ mod tests {
                 .unwrap();
         }
         // 4 × 128 = 512 entries used; anything more overflows.
-        assert!(alloc.allocate(TableFn::Sigmoid, r, 16, SEED_TABLE_ENTRIES).is_err());
+        assert!(alloc
+            .allocate(TableFn::Sigmoid, r, 16, SEED_TABLE_ENTRIES)
+            .is_err());
         // But mixed sizes pack more tables: fresh allocator, 8 × 64.
         let mut alloc = LutAllocator::new();
         for i in 0..8 {
             let range = Interval::new(1.0, 2.0 + i as f64);
             alloc
-                .allocate(TableFn::Reciprocal { scale: 6 }, range, 16, SEED_TABLE_ENTRIES)
+                .allocate(
+                    TableFn::Reciprocal { scale: 6 },
+                    range,
+                    16,
+                    SEED_TABLE_ENTRIES,
+                )
                 .unwrap();
         }
         assert_eq!(alloc.tables().len(), 8);
@@ -275,7 +288,14 @@ mod tests {
         let mut alloc = LutAllocator::new();
         let r = Interval::new(0.0, 8.0);
         let t = alloc
-            .allocate(TableFn::Exp { scale: exp_scale(r) }, r, 16, APPROX_TABLE_ENTRIES)
+            .allocate(
+                TableFn::Exp {
+                    scale: exp_scale(r),
+                },
+                r,
+                16,
+                APPROX_TABLE_ENTRIES,
+            )
             .unwrap();
         // Span in raw words: 8·65536 = 524288 ⇒ shift so / 128 buckets.
         let span = 8.0 * 65536.0;
@@ -289,7 +309,9 @@ mod tests {
     fn sigmoid_entries_monotone() {
         let mut alloc = LutAllocator::new();
         let r = Interval::new(-8.0, 8.0);
-        let t = alloc.allocate(TableFn::Sigmoid, r, 16, APPROX_TABLE_ENTRIES).unwrap();
+        let t = alloc
+            .allocate(TableFn::Sigmoid, r, 16, APPROX_TABLE_ENTRIES)
+            .unwrap();
         let lut = alloc.render(16);
         let mut prev = 0u8;
         for bucket in 0..t.entries {

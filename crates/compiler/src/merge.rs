@@ -34,8 +34,7 @@ pub fn merge_nodes(module: &mut ScalarModule, options: &CompileOptions) -> Merge
             let id = ScalarId(idx);
             match module.ops[idx].clone() {
                 SOp::AddN(xs) => {
-                    let (merged, did) =
-                        flatten_add(module, &xs, max_nary, &consumer_counts, id);
+                    let (merged, did) = flatten_add(module, &xs, max_nary, &consumer_counts, id);
                     if did {
                         stats.adds_merged += 1;
                         module.ops[idx] = SOp::AddN(merged);
@@ -47,7 +46,10 @@ pub fn merge_nodes(module: &mut ScalarModule, options: &CompileOptions) -> Merge
                         flatten_sub(module, &plus, &minus, max_nary, &consumer_counts, id);
                     if did {
                         stats.subs_merged += 1;
-                        module.ops[idx] = SOp::SubN { plus: new_plus, minus: new_minus };
+                        module.ops[idx] = SOp::SubN {
+                            plus: new_plus,
+                            minus: new_minus,
+                        };
                         changed = true;
                     }
                 }
@@ -137,9 +139,10 @@ fn flatten_sub(
                         did = true;
                         continue;
                     }
-                    SOp::SubN { plus: ip, minus: im }
-                        if placed + pending + ip.len() + im.len() <= max_nary =>
-                    {
+                    SOp::SubN {
+                        plus: ip,
+                        minus: im,
+                    } if placed + pending + ip.len() + im.len() <= max_nary => {
                         // A subtracted SubN flips its sides.
                         if side {
                             new_plus.extend_from_slice(ip);
@@ -244,16 +247,19 @@ mod tests {
         let mut module = scalarize(&graph, &CompileOptions::default()).unwrap();
         let stats = merge_nodes(&mut module, &CompileOptions::default());
         assert!(stats.subs_merged > 0);
-        let merged = module.ops.iter().any(|op| {
-            matches!(op, SOp::SubN { plus, minus } if plus.len() == 2 && minus.len() == 2)
-        });
+        let merged = module.ops.iter().any(
+            |op| matches!(op, SOp::SubN { plus, minus } if plus.len() == 2 && minus.len() == 2),
+        );
         assert!(merged, "expected a merged 2+2 SubN");
     }
 
     #[test]
     fn disabled_merging_leaves_chains() {
         let mut module = module_for_sum(8);
-        let options = CompileOptions { node_merging: false, ..Default::default() };
+        let options = CompileOptions {
+            node_merging: false,
+            ..Default::default()
+        };
         // The pass is simply not called when disabled; emulate compile().
         if options.node_merging {
             merge_nodes(&mut module, &options);

@@ -197,9 +197,7 @@ impl CompiledKernel {
 
     /// The kernel's per-opcode instruction mix across all IBs.
     pub fn instruction_mix(&self) -> InstructionMix {
-        InstructionMix::from_instructions(
-            self.ibs.iter().flat_map(|ib| ib.block.instructions()),
-        )
+        InstructionMix::from_instructions(self.ibs.iter().flat_map(|ib| ib.block.instructions()))
     }
 
     /// A human-readable listing of the whole kernel: per-IB assembly plus
@@ -215,8 +213,11 @@ impl CompiledKernel {
             self.stats.module_latency
         );
         for (i, ib) in self.ibs.iter().enumerate() {
-            let _ = writeln!(out, "
-; ───── instruction block {i} ─────");
+            let _ = writeln!(
+                out,
+                "
+; ───── instruction block {i} ─────"
+            );
             for (row, binding) in &ib.input_rows {
                 let _ = writeln!(out, ";   load m{row} ← {binding:?}");
             }
@@ -334,7 +335,10 @@ mod tests {
         g.fetch(s);
         compile(
             &g.finish(),
-            &CompileOptions { policy: OptPolicy::MaxDlp, ..Default::default() },
+            &CompileOptions {
+                policy: OptPolicy::MaxDlp,
+                ..Default::default()
+            },
         )
         .unwrap()
     }

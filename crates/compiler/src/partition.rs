@@ -28,8 +28,12 @@ pub struct Partition {
 impl Partition {
     /// Scalars of one IB, in definition (topological) order.
     pub fn scalars_of_ib(&self, ib: usize) -> Vec<ScalarId> {
-        let mut ids: Vec<ScalarId> =
-            self.ib_of.iter().filter(|&(_, &b)| b == ib).map(|(&s, _)| s).collect();
+        let mut ids: Vec<ScalarId> = self
+            .ib_of
+            .iter()
+            .filter(|&(_, &b)| b == ib)
+            .map(|(&s, _)| s)
+            .collect();
         ids.sort();
         ids
     }
@@ -151,11 +155,16 @@ pub fn partition(module: &ScalarModule, num_ibs: usize) -> Result<Partition, Com
         let preferred = op
             .operands()
             .iter()
-            .filter_map(|o| ib_of.get(o).map(|&b| (finish.get(o).copied().unwrap_or(0), b)))
+            .filter_map(|o| {
+                ib_of
+                    .get(o)
+                    .map(|&b| (finish.get(o).copied().unwrap_or(0), b))
+            })
             .max()
             .map(|(_, b)| b);
-        let least_loaded =
-            (0..num_ibs).min_by_key(|&b| load[b]).expect("at least one IB");
+        let least_loaded = (0..num_ibs)
+            .min_by_key(|&b| load[b])
+            .expect("at least one IB");
         let target = match preferred {
             Some(b) if load[b] <= load[least_loaded] + w * 4 => b,
             _ => least_loaded,
@@ -183,7 +192,11 @@ pub fn partition(module: &ScalarModule, num_ibs: usize) -> Result<Partition, Com
         }
     }
 
-    Ok(Partition { num_ibs, ib_of, live })
+    Ok(Partition {
+        num_ibs,
+        ib_of,
+        live,
+    })
 }
 
 #[cfg(test)]
@@ -226,16 +239,20 @@ mod tests {
     #[test]
     fn max_dlp_is_one_ib() {
         let module = wide_module();
-        let options =
-            CompileOptions { policy: OptPolicy::MaxDlp, ..Default::default() };
+        let options = CompileOptions {
+            policy: OptPolicy::MaxDlp,
+            ..Default::default()
+        };
         assert_eq!(choose_ib_count(&module, &options), 1);
     }
 
     #[test]
     fn max_ilp_exceeds_one() {
         let module = wide_module();
-        let options =
-            CompileOptions { policy: OptPolicy::MaxIlp, ..Default::default() };
+        let options = CompileOptions {
+            policy: OptPolicy::MaxIlp,
+            ..Default::default()
+        };
         assert!(choose_ib_count(&module, &options) > 1);
     }
 
@@ -289,8 +306,10 @@ mod tests {
     #[test]
     fn fixed_policy_respected() {
         let module = wide_module();
-        let options =
-            CompileOptions { policy: OptPolicy::Fixed(3), ..Default::default() };
+        let options = CompileOptions {
+            policy: OptPolicy::Fixed(3),
+            ..Default::default()
+        };
         assert_eq!(choose_ib_count(&module, &options), 3);
     }
 }

@@ -28,12 +28,22 @@ impl ChipCapacity {
     /// The paper's chip: 4,096 tiles × 8 clusters × 8 arrays × 8 lanes =
     /// 2,097,152 SIMD slots, 1 GB of ReRAM.
     pub fn paper() -> Self {
-        ChipCapacity { tiles: 4096, clusters_per_tile: 8, arrays_per_cluster: 8, lanes: 8 }
+        ChipCapacity {
+            tiles: 4096,
+            clusters_per_tile: 8,
+            arrays_per_cluster: 8,
+            lanes: 8,
+        }
     }
 
     /// A small configuration for functional tests (64 tiles).
     pub fn small() -> Self {
-        ChipCapacity { tiles: 64, clusters_per_tile: 8, arrays_per_cluster: 8, lanes: 8 }
+        ChipCapacity {
+            tiles: 64,
+            clusters_per_tile: 8,
+            arrays_per_cluster: 8,
+            lanes: 8,
+        }
     }
 
     /// Total arrays on the chip.
@@ -122,7 +132,14 @@ mod tests {
         let s = g.sum(sq, 0).unwrap();
         g.fetch(s);
         let graph = g.finish();
-        compile(&graph, &CompileOptions { policy, ..Default::default() }).unwrap()
+        compile(
+            &graph,
+            &CompileOptions {
+                policy,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     #[test]

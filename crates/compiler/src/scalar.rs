@@ -99,7 +99,11 @@ impl SOp {
             SOp::Mul(a, b) => vec![*a, *b],
             SOp::DotShared { xs, ws } => xs.iter().chain(ws).copied().collect(),
             SOp::Div(a, b) | SOp::Less(a, b) => vec![*a, *b],
-            SOp::Exp(x) | SOp::Sqrt(x) | SOp::Abs(x) | SOp::Sigmoid(x) | SOp::FloorQ(x)
+            SOp::Exp(x)
+            | SOp::Sqrt(x)
+            | SOp::Abs(x)
+            | SOp::Sigmoid(x)
+            | SOp::FloorQ(x)
             | SOp::ReduceAcross(x) => vec![*x],
             SOp::Select { cond, a, b } => vec![*cond, *a, *b],
         }
@@ -265,14 +269,16 @@ fn detect_parallelism(graph: &Graph) -> Result<ParallelSpec, CompileError> {
         if matches!(node.op(), Op::Conv2D) {
             let input = graph.node(node.inputs()[0])?;
             let shape = input.shape();
-            return Ok(ParallelSpec::Stencil { h: shape.dim(0), w: shape.dim(1) });
+            return Ok(ParallelSpec::Stencil {
+                h: shape.dim(0),
+                w: shape.dim(1),
+            });
         }
     }
     // Vector mode: the largest trailing dimension among runtime inputs.
     let mut n = 0usize;
     for node in graph.nodes() {
-        let is_runtime_input =
-            matches!(node.op(), Op::Placeholder { .. } | Op::Variable { .. });
+        let is_runtime_input = matches!(node.op(), Op::Placeholder { .. } | Op::Variable { .. });
         if is_runtime_input && node.shape().rank() >= 1 {
             n = n.max(*node.shape().dims().last().expect("rank >= 1"));
         }
@@ -297,7 +303,11 @@ impl Builder<'_> {
         if let Some(&id) = self.const_cache.get(&key) {
             return id;
         }
-        let id = self.push(SOp::Const(value), VClass::Const, Some(Interval::point(value)));
+        let id = self.push(
+            SOp::Const(value),
+            VClass::Const,
+            Some(Interval::point(value)),
+        );
         self.const_cache.insert(key, id);
         id
     }
@@ -345,9 +355,7 @@ impl Builder<'_> {
             return shape.clone();
         }
         match self.parallel {
-            ParallelSpec::Vector { .. } => {
-                Shape::new(shape.dims()[..shape.rank() - 1].to_vec())
-            }
+            ParallelSpec::Vector { .. } => Shape::new(shape.dims()[..shape.rank() - 1].to_vec()),
             ParallelSpec::Stencil { .. } => Shape::scalar(),
             ParallelSpec::None => shape.clone(),
         }
@@ -369,9 +377,12 @@ impl Builder<'_> {
                         node.id()
                     )));
                 }
-                let scalars =
-                    tensor.data().iter().map(|&v| self.constant(v)).collect();
-                Ok(NodeVal { scalars, intra: tensor.shape().clone(), class: VClass::Const })
+                let scalars = tensor.data().iter().map(|&v| self.constant(v)).collect();
+                Ok(NodeVal {
+                    scalars,
+                    intra: tensor.shape().clone(),
+                    class: VClass::Const,
+                })
             }
             Op::Unary(op) => self.scalarize_unary(*op, node),
             Op::Binary(op) => self.scalarize_binary(*op, node),
@@ -400,7 +411,11 @@ impl Builder<'_> {
                         node.id()
                     )));
                 }
-                Ok(NodeVal { scalars: input.scalars, intra, class: input.class })
+                Ok(NodeVal {
+                    scalars: input.scalars,
+                    intra,
+                    class: input.class,
+                })
             }
             Op::Pack { axis } => self.scalarize_pack(*axis, node),
             Op::Gather => self.scalarize_gather(node),
@@ -416,7 +431,11 @@ impl Builder<'_> {
                     let class = b.combine_class(&[x, y]);
                     b.push(SOp::AddN(vec![x, y]), class, range)
                 })?;
-                Ok(NodeVal { scalars, intra: var.intra, class: VClass::Parallel })
+                Ok(NodeVal {
+                    scalars,
+                    intra: var.intra,
+                    class: VClass::Parallel,
+                })
             }
             Op::NoOp => Ok(NodeVal {
                 scalars: Vec::new(),
@@ -445,18 +464,29 @@ impl Builder<'_> {
                     )
                 })
                 .collect();
-            Ok(NodeVal { scalars, intra, class: VClass::Parallel })
+            Ok(NodeVal {
+                scalars,
+                intra,
+                class: VClass::Parallel,
+            })
         } else {
             let scalars = (0..shape.elems())
                 .map(|idx| {
                     self.push(
-                        SOp::Leaf(InputBinding::Shared { name: name.clone(), flat_idx: idx }),
+                        SOp::Leaf(InputBinding::Shared {
+                            name: name.clone(),
+                            flat_idx: idx,
+                        }),
                         VClass::Shared,
                         range,
                     )
                 })
                 .collect();
-            Ok(NodeVal { scalars, intra: shape, class: VClass::Shared })
+            Ok(NodeVal {
+                scalars,
+                intra: shape,
+                class: VClass::Shared,
+            })
         }
     }
 
@@ -495,7 +525,10 @@ impl Builder<'_> {
                 match op {
                     UnaryOp::Identity => x,
                     UnaryOp::Neg => self.push(
-                        SOp::SubN { plus: vec![], minus: vec![x] },
+                        SOp::SubN {
+                            plus: vec![],
+                            minus: vec![x],
+                        },
                         self.class[x.0],
                         xr.map(|r| Interval::new(-r.hi, -r.lo)),
                     ),
@@ -530,7 +563,11 @@ impl Builder<'_> {
                 }
             })
             .collect();
-        Ok(NodeVal { scalars, intra: input.intra, class: input.class })
+        Ok(NodeVal {
+            scalars,
+            intra: input.intra,
+            class: input.class,
+        })
     }
 
     fn scalarize_binary(&mut self, op: BinaryOp, node: &Node) -> Result<NodeVal, CompileError> {
@@ -544,7 +581,10 @@ impl Builder<'_> {
             match op {
                 BinaryOp::Add => builder.push(SOp::AddN(vec![x, y]), class, add_ranges(xr, yr)),
                 BinaryOp::Sub => builder.push(
-                    SOp::SubN { plus: vec![x], minus: vec![y] },
+                    SOp::SubN {
+                        plus: vec![x],
+                        minus: vec![y],
+                    },
                     class,
                     sub_ranges(xr, yr),
                 ),
@@ -566,9 +606,17 @@ impl Builder<'_> {
                 }
             }
         })?;
-        let intra = if a.scalars.len() >= b.scalars.len() { a.intra } else { b.intra };
+        let intra = if a.scalars.len() >= b.scalars.len() {
+            a.intra
+        } else {
+            b.intra
+        };
         let class = self.combine_class(&scalars);
-        Ok(NodeVal { scalars, intra, class })
+        Ok(NodeVal {
+            scalars,
+            intra,
+            class,
+        })
     }
 
     fn scalarize_select(&mut self, node: &Node) -> Result<NodeVal, CompileError> {
@@ -582,7 +630,15 @@ impl Builder<'_> {
                 let (c, x, y) = (pick(&cond, i), pick(&a, i), pick(&b, i));
                 let range = union_ranges(self.range[x.0], self.range[y.0]);
                 let class = self.combine_class(&[c, x, y]);
-                self.push(SOp::Select { cond: c, a: x, b: y }, class, range)
+                self.push(
+                    SOp::Select {
+                        cond: c,
+                        a: x,
+                        b: y,
+                    },
+                    class,
+                    range,
+                )
             })
             .collect();
         let intra = [&cond, &a, &b]
@@ -592,7 +648,11 @@ impl Builder<'_> {
             .intra
             .clone();
         let class = self.combine_class(&scalars);
-        Ok(NodeVal { scalars, intra, class })
+        Ok(NodeVal {
+            scalars,
+            intra,
+            class,
+        })
     }
 
     fn scalarize_reduce(
@@ -617,7 +677,11 @@ impl Builder<'_> {
                 .iter()
                 .map(|&x| self.push(SOp::ReduceAcross(x), VClass::Reduced, self.range[x.0]))
                 .collect();
-            return Ok(NodeVal { scalars, intra: input.intra, class: VClass::Reduced });
+            return Ok(NodeVal {
+                scalars,
+                intra: input.intra,
+                class: VClass::Reduced,
+            });
         }
         // Intra-module reduction over `axis` of the intra shape.
         if axis >= input.intra.rank() {
@@ -639,7 +703,11 @@ impl Builder<'_> {
                 .collect(),
         };
         let class = self.combine_class(&scalars);
-        Ok(NodeVal { scalars, intra: out_intra, class })
+        Ok(NodeVal {
+            scalars,
+            intra: out_intra,
+            class,
+        })
     }
 
     /// Sequential 2-ary add chain (the node-merging pass widens it).
@@ -664,10 +732,22 @@ impl Builder<'_> {
             let class = self.combine_class(&[best, x]);
             let cond = self.push(SOp::Less(x, best), class, Some(Interval::new(0.0, 1.0)));
             let range = union_ranges(self.range[x.0], self.range[best.0]);
-            best = self.push(SOp::Select { cond, a: x, b: best }, class, range);
+            best = self.push(
+                SOp::Select {
+                    cond,
+                    a: x,
+                    b: best,
+                },
+                class,
+                range,
+            );
             let j_const = self.constant(j as f64);
             best_idx = self.push(
-                SOp::Select { cond, a: j_const, b: best_idx },
+                SOp::Select {
+                    cond,
+                    a: j_const,
+                    b: best_idx,
+                },
                 class,
                 Some(Interval::new(0.0, (group.len() - 1) as f64)),
             );
@@ -698,7 +778,11 @@ impl Builder<'_> {
                 self.dot_shared(&rhs.scalars, &ws)
             })
             .collect();
-        Ok(NodeVal { scalars, intra: Shape::vector(m), class: VClass::Parallel })
+        Ok(NodeVal {
+            scalars,
+            intra: Shape::vector(m),
+            class: VClass::Parallel,
+        })
     }
 
     fn dot_shared(&mut self, xs: &[ScalarId], ws: &[ScalarId]) -> ScalarId {
@@ -706,7 +790,14 @@ impl Builder<'_> {
         for (&x, &w) in xs.iter().zip(ws) {
             range = add_ranges(range, mul_ranges(self.range[x.0], self.range[w.0]));
         }
-        self.push(SOp::DotShared { xs: xs.to_vec(), ws: ws.to_vec() }, VClass::Parallel, range)
+        self.push(
+            SOp::DotShared {
+                xs: xs.to_vec(),
+                ws: ws.to_vec(),
+            },
+            VClass::Parallel,
+            range,
+        )
     }
 
     fn scalarize_tensordot(&mut self, node: &Node) -> Result<NodeVal, CompileError> {
@@ -721,7 +812,11 @@ impl Builder<'_> {
                     ));
                 }
                 let d = self.dot_shared(&b.scalars, &a.scalars);
-                Ok(NodeVal { scalars: vec![d], intra: Shape::scalar(), class: VClass::Parallel })
+                Ok(NodeVal {
+                    scalars: vec![d],
+                    intra: Shape::scalar(),
+                    class: VClass::Parallel,
+                })
             }
             (VClass::Parallel, VClass::Shared | VClass::Const) => {
                 if a.scalars.len() != b.scalars.len() {
@@ -730,7 +825,11 @@ impl Builder<'_> {
                     ));
                 }
                 let d = self.dot_shared(&a.scalars, &b.scalars);
-                Ok(NodeVal { scalars: vec![d], intra: Shape::scalar(), class: VClass::Parallel })
+                Ok(NodeVal {
+                    scalars: vec![d],
+                    intra: Shape::scalar(),
+                    class: VClass::Parallel,
+                })
             }
             // Parallel · parallel → element-wise muls + add chain (the
             // word-line DAC cannot stream per-lane values, §2.2).
@@ -775,7 +874,9 @@ impl Builder<'_> {
         };
         let filter = self.values[&node.inputs()[1]].clone();
         if filter.class == VClass::Parallel {
-            return Err(CompileError::Unsupported("Conv2D filter must be shared".into()));
+            return Err(CompileError::Unsupported(
+                "Conv2D filter must be shared".into(),
+            ));
         }
         let fshape = self.graph.node(node.inputs()[1])?.shape().clone();
         let (fh, fw) = (fshape.dim(0), fshape.dim(1));
@@ -788,22 +889,35 @@ impl Builder<'_> {
                 let dr = di as isize - (fh / 2) as isize;
                 let dc = dj as isize - (fw / 2) as isize;
                 xs.push(self.push(
-                    SOp::Leaf(InputBinding::Window { name: name.clone(), dr, dc }),
+                    SOp::Leaf(InputBinding::Window {
+                        name: name.clone(),
+                        dr,
+                        dc,
+                    }),
                     VClass::Parallel,
                     range.map(|r| Interval::new(r.lo.min(0.0), r.hi.max(0.0))),
                 ));
             }
         }
         let d = self.dot_shared(&xs, &filter.scalars);
-        Ok(NodeVal { scalars: vec![d], intra: Shape::scalar(), class: VClass::Parallel })
+        Ok(NodeVal {
+            scalars: vec![d],
+            intra: Shape::scalar(),
+            class: VClass::Parallel,
+        })
     }
 
     fn scalarize_pack(&mut self, axis: usize, node: &Node) -> Result<NodeVal, CompileError> {
-        let parts: Vec<NodeVal> =
-            node.inputs().iter().map(|id| self.values[id].clone()).collect();
+        let parts: Vec<NodeVal> = node
+            .inputs()
+            .iter()
+            .map(|id| self.values[id].clone())
+            .collect();
         let first = &parts[0];
         if parts.iter().any(|p| p.scalars.len() != first.scalars.len()) {
-            return Err(CompileError::Unsupported("Pack operands differ in element count".into()));
+            return Err(CompileError::Unsupported(
+                "Pack operands differ in element count".into(),
+            ));
         }
         let intra = first.intra.clone();
         if axis > intra.rank() {
@@ -820,7 +934,11 @@ impl Builder<'_> {
             }
         }
         let class = self.combine_class(&scalars);
-        Ok(NodeVal { scalars, intra: intra.with_axis(axis, parts.len()), class })
+        Ok(NodeVal {
+            scalars,
+            intra: intra.with_axis(axis, parts.len()),
+            class,
+        })
     }
 
     fn scalarize_gather(&mut self, node: &Node) -> Result<NodeVal, CompileError> {
@@ -842,14 +960,20 @@ impl Builder<'_> {
         for &raw in indices.data() {
             let index = raw.round() as usize;
             if index >= rows {
-                return Err(CompileError::Graph(format!("gather index {index} out of range")));
+                return Err(CompileError::Graph(format!(
+                    "gather index {index} out of range"
+                )));
             }
             scalars.extend_from_slice(&params.scalars[index * row..(index + 1) * row]);
         }
         let mut dims = indices.shape().dims().to_vec();
         dims.extend_from_slice(&params.intra.dims()[1..]);
         let class = self.combine_class(&scalars);
-        Ok(NodeVal { scalars, intra: Shape::new(dims), class })
+        Ok(NodeVal {
+            scalars,
+            intra: Shape::new(dims),
+            class,
+        })
     }
 }
 
@@ -952,7 +1076,11 @@ mod tests {
             .count();
         assert_eq!(leaves, 5);
         // Sum over the intra axis is a chain of three adds.
-        let adds = module.ops.iter().filter(|op| matches!(op, SOp::AddN(_))).count();
+        let adds = module
+            .ops
+            .iter()
+            .filter(|op| matches!(op, SOp::AddN(_)))
+            .count();
         assert_eq!(adds, 4); // 3 for the chain + 1 for the final add
         assert_eq!(module.outputs.len(), 1);
         assert!(!module.outputs[0].reduced);
@@ -990,8 +1118,11 @@ mod tests {
         let module = scalarize(&graph, &opts()).unwrap();
         assert!(module.outputs[0].reduced);
         assert_eq!(module.outputs[0].scalars.len(), 2);
-        let reduces =
-            module.ops.iter().filter(|op| matches!(op, SOp::ReduceAcross(_))).count();
+        let reduces = module
+            .ops
+            .iter()
+            .filter(|op| matches!(op, SOp::ReduceAcross(_)))
+            .count();
         assert_eq!(reduces, 2);
     }
 
@@ -1036,8 +1167,16 @@ mod tests {
         g.fetch(m);
         let graph = g.finish();
         let module = scalarize(&graph, &opts()).unwrap();
-        let less = module.ops.iter().filter(|op| matches!(op, SOp::Less(_, _))).count();
-        let selects = module.ops.iter().filter(|op| matches!(op, SOp::Select { .. })).count();
+        let less = module
+            .ops
+            .iter()
+            .filter(|op| matches!(op, SOp::Less(_, _)))
+            .count();
+        let selects = module
+            .ops
+            .iter()
+            .filter(|op| matches!(op, SOp::Select { .. }))
+            .count();
         assert_eq!(less, 3);
         assert_eq!(selects, 6); // value + index select per step
     }
@@ -1064,7 +1203,9 @@ mod tests {
     fn conv_becomes_window_dot() {
         let mut g = GraphBuilder::new();
         let x = g.placeholder("x", Shape::matrix(64, 64)).unwrap();
-        let f = g.constant(Tensor::filled(0.25, Shape::matrix(3, 3))).unwrap();
+        let f = g
+            .constant(Tensor::filled(0.25, Shape::matrix(3, 3)))
+            .unwrap();
         let y = g.conv2d(x, f).unwrap();
         g.fetch(y);
         let graph = g.finish();
@@ -1076,15 +1217,19 @@ mod tests {
             .filter(|op| matches!(op, SOp::Leaf(InputBinding::Window { .. })))
             .count();
         assert_eq!(windows, 9);
-        assert!(module.ops.iter().any(|op| matches!(op, SOp::DotShared { xs, .. } if xs.len() == 9)));
+        assert!(module
+            .ops
+            .iter()
+            .any(|op| matches!(op, SOp::DotShared { xs, .. } if xs.len() == 9)));
     }
 
     #[test]
     fn gather_with_const_indices_is_static() {
         let mut g = GraphBuilder::new();
         let w = g.placeholder("w", Shape::vector(4)).unwrap();
-        let idx =
-            g.constant(Tensor::from_vec(vec![2.0, 0.0], Shape::vector(2)).unwrap()).unwrap();
+        let idx = g
+            .constant(Tensor::from_vec(vec![2.0, 0.0], Shape::vector(2)).unwrap())
+            .unwrap();
         let got = g.gather(w, idx).unwrap();
         let s = g.sum(got, 0).unwrap(); // shared scalar from the gathered pair
         let x = g.placeholder("x", Shape::vector(100)).unwrap();
@@ -1111,7 +1256,10 @@ mod tests {
         let got = g.gather(w, idx).unwrap();
         g.fetch(got);
         let graph = g.finish();
-        assert!(matches!(scalarize(&graph, &opts()), Err(CompileError::Unsupported(_))));
+        assert!(matches!(
+            scalarize(&graph, &opts()),
+            Err(CompileError::Unsupported(_))
+        ));
     }
 
     #[test]
@@ -1136,7 +1284,9 @@ mod tests {
     #[test]
     fn assign_add_accumulates_into_variable() {
         let mut g = GraphBuilder::new();
-        let v = g.variable("acc", Tensor::zeros(Shape::vector(100))).unwrap();
+        let v = g
+            .variable("acc", Tensor::zeros(Shape::vector(100)))
+            .unwrap();
         let x = g.placeholder("x", Shape::vector(100)).unwrap();
         let u = g.assign_add(v, x).unwrap();
         g.fetch(u);

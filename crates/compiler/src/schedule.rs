@@ -11,8 +11,10 @@
 //! pipelining option (§5.2).
 
 use crate::lower::Lowered;
+use crate::module::CompiledKernel;
 use crate::{CompileError, CompileOptions};
 use imp_isa::{Instruction, Latency};
+use std::collections::BTreeSet;
 
 /// Relative placement of an IB within the chip's tile/cluster hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +23,63 @@ pub struct Placement {
     pub cluster: usize,
     /// Array within the cluster.
     pub array: usize,
+}
+
+/// Which physical arrays the scheduler may place IBs on: a chip-wide
+/// array count minus a retired set.
+///
+/// Physical arrays are numbered by flat slot
+/// (`cluster * 8 + array_within_cluster`, clusters numbered chip-wide).
+/// The runtime retires slots whose arrays failed their integrity checks;
+/// re-running placement with the avoid set routes every instance group
+/// around the broken hardware at reduced parallelism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayAvailability {
+    total: usize,
+    retired: BTreeSet<usize>,
+}
+
+impl ArrayAvailability {
+    /// Every one of `total` arrays is usable.
+    pub fn all(total: usize) -> Self {
+        ArrayAvailability {
+            total,
+            retired: BTreeSet::new(),
+        }
+    }
+
+    /// Marks a physical slot as permanently unusable. Out-of-range slots
+    /// are ignored.
+    pub fn retire(&mut self, slot: usize) {
+        if slot < self.total {
+            self.retired.insert(slot);
+        }
+    }
+
+    /// Whether `slot` has been retired.
+    pub fn is_retired(&self, slot: usize) -> bool {
+        self.retired.contains(&slot)
+    }
+
+    /// Total arrays on the chip, healthy or not.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of usable (non-retired) arrays.
+    pub fn usable(&self) -> usize {
+        self.total - self.retired.len()
+    }
+
+    /// Retired slots in ascending order.
+    pub fn retired_slots(&self) -> impl Iterator<Item = usize> + '_ {
+        self.retired.iter().copied()
+    }
+
+    /// Usable physical slots in ascending order.
+    pub fn usable_slots(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.total).filter(move |s| !self.retired.contains(s))
+    }
 }
 
 /// One timetable entry.
@@ -50,6 +109,9 @@ pub struct Schedule {
     /// Instruction-buffer refills per IB: code beyond the 2 KB buffer
     /// (Table 4) streams in from the tile's next level mid-execution.
     pub buffer_refills: Vec<u32>,
+    /// Whether compute/write-back pipelining was assumed (recorded so the
+    /// runtime can re-run scheduling after retiring arrays).
+    pub pipelining: bool,
 }
 
 /// Capacity of one instruction buffer in bytes (Table 4: 8 × 2 KB per
@@ -93,39 +155,103 @@ pub fn occupancy(inst: &Instruction, pipelining: bool) -> u64 {
     }
 }
 
-/// Places IBs onto arrays: greedily filling clusters so communicating
-/// blocks stay near each other (IBs are created in dependence-affine
-/// order by the partitioner, so sequential filling approximates BUG's
-/// locality goal).
-pub fn place(num_ibs: usize) -> Vec<Placement> {
-    (0..num_ibs)
-        .map(|ib| Placement { cluster: ib / 8, array: ib % 8 })
-        .collect()
-}
-
-/// Computes the static timetable.
+/// Places IBs onto the first usable arrays: greedily filling clusters so
+/// communicating blocks stay near each other (IBs are created in
+/// dependence-affine order by the partitioner, so sequential filling
+/// approximates BUG's locality goal). Retired slots in `avail` are
+/// skipped, which may scatter the blocks across more clusters — the
+/// timetable then absorbs the longer transfer latencies.
 ///
 /// # Errors
-/// Returns [`CompileError::Graph`] if the cross-IB dependence graph is
-/// cyclic (a compiler invariant violation).
-pub fn schedule(lowered: &Lowered, options: &CompileOptions) -> Result<Schedule, CompileError> {
-    let placements = place(lowered.ibs.len());
-    let num_nodes: usize = lowered.ibs.iter().map(|ib| ib.instructions.len()).sum();
+/// Returns [`CompileError::OutOfArrays`] if fewer than `num_ibs` arrays
+/// remain usable.
+pub fn place(num_ibs: usize, avail: &ArrayAvailability) -> Result<Vec<Placement>, CompileError> {
+    if avail.usable() < num_ibs {
+        return Err(CompileError::OutOfArrays {
+            needed: num_ibs,
+            usable: avail.usable(),
+        });
+    }
+    Ok(avail
+        .usable_slots()
+        .take(num_ibs)
+        .map(|slot| Placement {
+            cluster: slot / 8,
+            array: slot % 8,
+        })
+        .collect())
+}
+
+/// Computes the static timetable for code still in compiler IR.
+///
+/// # Errors
+/// Returns [`CompileError::OutOfArrays`] if placement fails and
+/// [`CompileError::Graph`] if the cross-IB dependence graph is cyclic (a
+/// compiler invariant violation).
+pub fn schedule(
+    lowered: &Lowered,
+    options: &CompileOptions,
+    avail: &ArrayAvailability,
+) -> Result<Schedule, CompileError> {
+    let placements = place(lowered.ibs.len(), avail)?;
+    let code: Vec<IbCode<'_>> = lowered
+        .ibs
+        .iter()
+        .map(|ib| (ib.instructions.as_slice(), ib.deps.as_slice()))
+        .collect();
+    timetable(&code, options.pipelining, placements)
+}
+
+/// Recomputes a compiled kernel's timetable for a different array
+/// availability — the runtime's remap path after retiring faulty arrays.
+/// Uses the cross-IB dependence lists retained in
+/// [`CompiledIb::deps`](crate::module::CompiledIb::deps), so no
+/// re-lowering is needed.
+///
+/// # Errors
+/// Returns [`CompileError::OutOfArrays`] if fewer usable arrays remain
+/// than the kernel has IBs.
+pub fn reschedule(
+    kernel: &CompiledKernel,
+    avail: &ArrayAvailability,
+) -> Result<Schedule, CompileError> {
+    let placements = place(kernel.ibs.len(), avail)?;
+    let code: Vec<IbCode<'_>> = kernel
+        .ibs
+        .iter()
+        .map(|ib| (ib.block.instructions(), ib.deps.as_slice()))
+        .collect();
+    timetable(&code, kernel.schedule.pipelining, placements)
+}
+
+/// One IB's code plus its cross-IB dependence lists (one list per
+/// instruction, entries are `(producer_ib, producer_idx)`).
+type IbCode<'a> = (&'a [Instruction], &'a [Vec<(usize, usize)>]);
+
+/// The shared timetable core: list scheduling by longest path over the
+/// program-order + cross-IB dependence DAG, with transfer latencies from
+/// the given placements.
+fn timetable(
+    ibs: &[IbCode<'_>],
+    pipelining: bool,
+    placements: Vec<Placement>,
+) -> Result<Schedule, CompileError> {
+    let num_nodes: usize = ibs.iter().map(|(code, _)| code.len()).sum();
     // Flatten (ib, idx) to node ids.
-    let mut base = vec![0usize; lowered.ibs.len() + 1];
-    for (i, ib) in lowered.ibs.iter().enumerate() {
-        base[i + 1] = base[i] + ib.instructions.len();
+    let mut base = vec![0usize; ibs.len() + 1];
+    for (i, (code, _)) in ibs.iter().enumerate() {
+        base[i + 1] = base[i] + code.len();
     }
     let node = |ib: usize, idx: usize| base[ib] + idx;
 
     // Build edges: (pred, succ, extra_latency_after_pred_end).
     let mut preds: Vec<Vec<(usize, u64)>> = vec![Vec::new(); num_nodes];
-    for (i, ib) in lowered.ibs.iter().enumerate() {
-        for idx in 0..ib.instructions.len() {
+    for (i, (code, deps)) in ibs.iter().enumerate() {
+        for idx in 0..code.len() {
             if idx > 0 {
                 preds[node(i, idx)].push((node(i, idx - 1), 0));
             }
-            for &(p_ib, p_idx) in &ib.deps[idx] {
+            for &(p_ib, p_idx) in &deps[idx] {
                 let lat = transfer_latency(placements[p_ib], placements[i]);
                 preds[node(i, idx)].push((node(p_ib, p_idx), lat));
             }
@@ -151,15 +277,17 @@ pub fn schedule(lowered: &Lowered, options: &CompileOptions) -> Result<Schedule,
         }
     }
     if order.len() != num_nodes {
-        return Err(CompileError::Graph("cyclic cross-IB dependence graph".into()));
+        return Err(CompileError::Graph(
+            "cyclic cross-IB dependence graph".into(),
+        ));
     }
 
     // Longest-path start times.
     let mut start = vec![0u64; num_nodes];
     let mut end = vec![0u64; num_nodes];
     let mut which: Vec<(usize, usize)> = vec![(0, 0); num_nodes];
-    for (i, ib) in lowered.ibs.iter().enumerate() {
-        for idx in 0..ib.instructions.len() {
+    for (i, (code, _)) in ibs.iter().enumerate() {
+        for idx in 0..code.len() {
             which[node(i, idx)] = (i, idx);
         }
     }
@@ -171,33 +299,45 @@ pub fn schedule(lowered: &Lowered, options: &CompileOptions) -> Result<Schedule,
             .max()
             .unwrap_or(0);
         start[n] = earliest;
-        end[n] = earliest + occupancy(&lowered.ibs[ib].instructions[idx], options.pipelining);
+        end[n] = earliest + occupancy(&ibs[ib].0[idx], pipelining);
     }
 
     let mut entries: Vec<ScheduledInst> = (0..num_nodes)
         .map(|n| {
             let (ib, index) = which[n];
-            ScheduledInst { ib, index, start: start[n], end: end[n] }
+            ScheduledInst {
+                ib,
+                index,
+                start: start[n],
+                end: end[n],
+            }
         })
         .collect();
     entries.sort_by_key(|e| (e.start, e.ib, e.index));
 
-    let mut ib_latencies = vec![0u64; lowered.ibs.len()];
+    let mut ib_latencies = vec![0u64; ibs.len()];
     for e in &entries {
         ib_latencies[e.ib] = ib_latencies[e.ib].max(e.end);
     }
     // Instruction-supply stalls: code beyond one buffer refills from the
     // tile level while the array executes.
-    let mut buffer_refills = Vec::with_capacity(lowered.ibs.len());
-    for (i, ib) in lowered.ibs.iter().enumerate() {
-        let code_bytes: usize = ib.instructions.iter().map(|inst| inst.encode().len()).sum();
+    let mut buffer_refills = Vec::with_capacity(ibs.len());
+    for (i, (code, _)) in ibs.iter().enumerate() {
+        let code_bytes: usize = code.iter().map(|inst| inst.encode().len()).sum();
         let refills = (code_bytes.div_ceil(INSTRUCTION_BUFFER_BYTES).max(1) - 1) as u32;
         ib_latencies[i] += u64::from(refills) * REFILL_STALL_CYCLES;
         buffer_refills.push(refills);
     }
     let module_latency = ib_latencies.iter().copied().max().unwrap_or(0);
 
-    Ok(Schedule { entries, module_latency, ib_latencies, placements, buffer_refills })
+    Ok(Schedule {
+        entries,
+        module_latency,
+        ib_latencies,
+        placements,
+        buffer_refills,
+        pipelining,
+    })
 }
 
 #[cfg(test)]
@@ -213,7 +353,11 @@ mod tests {
         let s = g.sum(sq, 0).unwrap();
         g.fetch(s);
         let graph = g.finish();
-        let options = CompileOptions { policy, pipelining, ..Default::default() };
+        let options = CompileOptions {
+            policy,
+            pipelining,
+            ..Default::default()
+        };
         compile(&graph, &options).unwrap()
     }
 
@@ -251,14 +395,113 @@ mod tests {
 
     #[test]
     fn placement_groups_by_cluster() {
-        let p = place(20);
-        assert_eq!(p[0], Placement { cluster: 0, array: 0 });
-        assert_eq!(p[7], Placement { cluster: 0, array: 7 });
-        assert_eq!(p[8], Placement { cluster: 1, array: 0 });
+        let p = place(20, &ArrayAvailability::all(64)).unwrap();
+        assert_eq!(
+            p[0],
+            Placement {
+                cluster: 0,
+                array: 0
+            }
+        );
+        assert_eq!(
+            p[7],
+            Placement {
+                cluster: 0,
+                array: 7
+            }
+        );
+        assert_eq!(
+            p[8],
+            Placement {
+                cluster: 1,
+                array: 0
+            }
+        );
         assert_eq!(transfer_latency(p[0], p[7]), 1);
         assert_eq!(transfer_latency(p[0], p[8]), 2);
-        let far = Placement { cluster: 9, array: 0 };
+        let far = Placement {
+            cluster: 9,
+            array: 0,
+        };
         assert_eq!(transfer_latency(p[0], far), 4);
+    }
+
+    #[test]
+    fn placement_skips_retired_slots() {
+        let mut avail = ArrayAvailability::all(64);
+        avail.retire(0);
+        avail.retire(3);
+        avail.retire(999); // out of range: ignored
+        assert_eq!(avail.usable(), 62);
+        let p = place(4, &avail).unwrap();
+        assert_eq!(
+            p[0],
+            Placement {
+                cluster: 0,
+                array: 1
+            }
+        );
+        assert_eq!(
+            p[1],
+            Placement {
+                cluster: 0,
+                array: 2
+            }
+        );
+        assert_eq!(
+            p[2],
+            Placement {
+                cluster: 0,
+                array: 4
+            }
+        );
+        assert_eq!(
+            p[3],
+            Placement {
+                cluster: 0,
+                array: 5
+            }
+        );
+    }
+
+    #[test]
+    fn placement_errors_when_arrays_run_out() {
+        let mut avail = ArrayAvailability::all(8);
+        for slot in 0..5 {
+            avail.retire(slot);
+        }
+        let err = place(4, &avail).unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::OutOfArrays {
+                needed: 4,
+                usable: 3
+            }
+        );
+    }
+
+    #[test]
+    fn reschedule_matches_original_on_full_availability() {
+        let kernel = simple_kernel(OptPolicy::MaxIlp, true);
+        let avail = ArrayAvailability::all(64);
+        let re = reschedule(&kernel, &avail).unwrap();
+        assert_eq!(re.module_latency, kernel.schedule.module_latency);
+        assert_eq!(re.placements, kernel.schedule.placements);
+        assert_eq!(re.entries, kernel.schedule.entries);
+    }
+
+    #[test]
+    fn reschedule_around_retired_arrays_never_speeds_up() {
+        let kernel = simple_kernel(OptPolicy::MaxIlp, true);
+        assert!(kernel.ibs.len() > 1);
+        let mut avail = ArrayAvailability::all(64);
+        avail.retire(0); // force every IB off its original slot
+        let re = reschedule(&kernel, &avail).unwrap();
+        assert!(!re.placements.contains(&Placement {
+            cluster: 0,
+            array: 0
+        }));
+        assert!(re.module_latency >= kernel.schedule.module_latency);
     }
 
     #[test]
@@ -273,7 +516,10 @@ mod tests {
         let graph = g.finish();
         let kernel = crate::compile(
             &graph,
-            &CompileOptions { policy: OptPolicy::MaxDlp, ..Default::default() },
+            &CompileOptions {
+                policy: OptPolicy::MaxDlp,
+                ..Default::default()
+            },
         )
         .unwrap();
         let code_bytes: usize = kernel.ibs[0]

@@ -14,7 +14,10 @@ fn single_ib(
     let mut g = GraphBuilder::new();
     let out = build(&mut g);
     g.fetch(out);
-    let mut options = CompileOptions { policy: OptPolicy::MaxDlp, ..Default::default() };
+    let mut options = CompileOptions {
+        policy: OptPolicy::MaxDlp,
+        ..Default::default()
+    };
     for &(name, lo, hi) in ranges {
         options.ranges.insert(name.into(), Interval::new(lo, hi));
     }
@@ -43,7 +46,7 @@ fn division_is_lut_seeded_newton_raphson() {
     assert_eq!(ops.iter().filter(|&&o| o == Opcode::Lut).count(), 1);
     assert_eq!(ops.iter().filter(|&&o| o == Opcode::Mul).count(), 2 * 2 + 1);
     assert!(ops.iter().filter(|&&o| o == Opcode::Sub).count() >= 3); // lo + 2 NR
-    // LUT comes before every multiply (the seed initiates the iteration).
+                                                                     // LUT comes before every multiply (the seed initiates the iteration).
     let lut_at = ops.iter().position(|&o| o == Opcode::Lut).unwrap();
     let first_mul = ops.iter().position(|&o| o == Opcode::Mul).unwrap();
     assert!(lut_at < first_mul);
@@ -109,10 +112,9 @@ fn abs_negates_through_current_drain() {
         Instruction::Sub { minuend, .. } if minuend.is_empty()
     )));
     // Predicated by the sign word via the mask register.
-    assert!(insts.iter().any(|i| matches!(
-        i,
-        Instruction::ShiftR { amount: 31, .. }
-    )));
+    assert!(insts
+        .iter()
+        .any(|i| matches!(i, Instruction::ShiftR { amount: 31, .. })));
 }
 
 #[test]

@@ -57,7 +57,10 @@ impl fmt::Display for DfgError {
                 write!(f, "axis {axis} out of range for rank {rank}")
             }
             DfgError::DataShapeMismatch { len, expect } => {
-                write!(f, "data length {len} does not match shape element count {expect}")
+                write!(
+                    f,
+                    "data length {len} does not match shape element count {expect}"
+                )
             }
             DfgError::UnknownNode(id) => write!(f, "unknown node {id:?}"),
             DfgError::MissingFeed(name) => write!(f, "placeholder `{name}` was not fed"),

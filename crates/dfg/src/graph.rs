@@ -137,7 +137,12 @@ impl GraphBuilder {
 
     fn push(&mut self, op: Op, inputs: Vec<NodeId>, shape: Shape) -> NodeId {
         let id = NodeId(self.graph.nodes.len());
-        self.graph.nodes.push(Node { id, op, inputs, shape });
+        self.graph.nodes.push(Node {
+            id,
+            op,
+            inputs,
+            shape,
+        });
         id
     }
 
@@ -158,7 +163,13 @@ impl GraphBuilder {
     /// Returns [`DfgError::DuplicateName`] if the name is taken.
     pub fn placeholder(&mut self, name: &str, shape: Shape) -> Result<NodeId, DfgError> {
         self.claim_name(name)?;
-        Ok(self.push(Op::Placeholder { name: name.to_string() }, vec![], shape))
+        Ok(self.push(
+            Op::Placeholder {
+                name: name.to_string(),
+            },
+            vec![],
+            shape,
+        ))
     }
 
     /// Declares a `Const` node.
@@ -173,7 +184,8 @@ impl GraphBuilder {
 
     /// Convenience scalar constant.
     pub fn scalar(&mut self, value: f64) -> NodeId {
-        self.constant(Tensor::scalar(value)).expect("scalar constants are valid")
+        self.constant(Tensor::scalar(value))
+            .expect("scalar constants are valid")
     }
 
     /// Declares a `Variable` with persistent state.
@@ -183,7 +195,14 @@ impl GraphBuilder {
     pub fn variable(&mut self, name: &str, init: Tensor) -> Result<NodeId, DfgError> {
         self.claim_name(name)?;
         let shape = init.shape().clone();
-        Ok(self.push(Op::Variable { name: name.to_string(), init }, vec![], shape))
+        Ok(self.push(
+            Op::Variable {
+                name: name.to_string(),
+                init,
+            },
+            vec![],
+            shape,
+        ))
     }
 
     fn unary(&mut self, op: UnaryOp, x: NodeId) -> Result<NodeId, DfgError> {
@@ -331,7 +350,10 @@ impl GraphBuilder {
     fn reduce(&mut self, op: ReduceOp, x: NodeId, axis: usize) -> Result<NodeId, DfgError> {
         let shape = self.shape_of(x)?;
         if axis >= shape.rank() {
-            return Err(DfgError::AxisOutOfRange { axis, rank: shape.rank() });
+            return Err(DfgError::AxisOutOfRange {
+                axis,
+                rank: shape.rank(),
+            });
         }
         Ok(self.push(Op::Reduce { op, axis }, vec![x], shape.without_axis(axis)))
     }
@@ -361,7 +383,11 @@ impl GraphBuilder {
         let sa = self.shape_of(a)?;
         let sb = self.shape_of(b)?;
         if sa.rank() != 2 || sb.rank() != 2 || sa.dim(1) != sb.dim(0) {
-            return Err(DfgError::ShapeMismatch { op: "MatMul".into(), lhs: sa, rhs: sb });
+            return Err(DfgError::ShapeMismatch {
+                op: "MatMul".into(),
+                lhs: sa,
+                rhs: sb,
+            });
         }
         let shape = Shape::matrix(sa.dim(0), sb.dim(1));
         Ok(self.push(Op::MatMul, vec![a, b], shape))
@@ -375,11 +401,12 @@ impl GraphBuilder {
     pub fn tensordot(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, DfgError> {
         let sa = self.shape_of(a)?;
         let sb = self.shape_of(b)?;
-        if sa.rank() == 0
-            || sb.rank() == 0
-            || sa.dims().last() != sb.dims().first()
-        {
-            return Err(DfgError::ShapeMismatch { op: "Tensordot".into(), lhs: sa, rhs: sb });
+        if sa.rank() == 0 || sb.rank() == 0 || sa.dims().last() != sb.dims().first() {
+            return Err(DfgError::ShapeMismatch {
+                op: "Tensordot".into(),
+                lhs: sa,
+                rhs: sb,
+            });
         }
         let mut dims = sa.dims()[..sa.rank() - 1].to_vec();
         dims.extend_from_slice(&sb.dims()[1..]);
@@ -395,7 +422,11 @@ impl GraphBuilder {
         let si = self.shape_of(input)?;
         let sf = self.shape_of(filter)?;
         if si.rank() != 2 || sf.rank() != 2 {
-            return Err(DfgError::ShapeMismatch { op: "Conv2D".into(), lhs: si, rhs: sf });
+            return Err(DfgError::ShapeMismatch {
+                op: "Conv2D".into(),
+                lhs: si,
+                rhs: sf,
+            });
         }
         let shape = si.clone();
         Ok(self.push(Op::Conv2D, vec![input, filter], shape))
@@ -408,7 +439,10 @@ impl GraphBuilder {
     pub fn expand_dims(&mut self, x: NodeId, axis: usize) -> Result<NodeId, DfgError> {
         let shape = self.shape_of(x)?;
         if axis > shape.rank() {
-            return Err(DfgError::AxisOutOfRange { axis, rank: shape.rank() });
+            return Err(DfgError::AxisOutOfRange {
+                axis,
+                rank: shape.rank(),
+            });
         }
         let out = shape.with_axis(axis, 1);
         Ok(self.push(Op::ExpandDims { axis }, vec![x], out))
@@ -423,7 +457,13 @@ impl GraphBuilder {
         if from.elems() != shape.elems() {
             return Err(DfgError::BadReshape { from, to: shape });
         }
-        Ok(self.push(Op::Reshape { shape: shape.clone() }, vec![x], shape))
+        Ok(self.push(
+            Op::Reshape {
+                shape: shape.clone(),
+            },
+            vec![x],
+            shape,
+        ))
     }
 
     /// `Pack`/`Stack`: joins same-shaped tensors along a new axis.
@@ -441,11 +481,18 @@ impl GraphBuilder {
         for &x in &xs[1..] {
             let s = self.shape_of(x)?;
             if s != shape {
-                return Err(DfgError::ShapeMismatch { op: "Pack".into(), lhs: shape, rhs: s });
+                return Err(DfgError::ShapeMismatch {
+                    op: "Pack".into(),
+                    lhs: shape,
+                    rhs: s,
+                });
             }
         }
         if axis > shape.rank() {
-            return Err(DfgError::AxisOutOfRange { axis, rank: shape.rank() });
+            return Err(DfgError::AxisOutOfRange {
+                axis,
+                rank: shape.rank(),
+            });
         }
         let out = shape.with_axis(axis, xs.len());
         Ok(self.push(Op::Pack { axis }, xs.to_vec(), out))
@@ -459,7 +506,11 @@ impl GraphBuilder {
         let sp = self.shape_of(params)?;
         let si = self.shape_of(indices)?;
         if sp.rank() == 0 {
-            return Err(DfgError::ShapeMismatch { op: "Gather".into(), lhs: sp, rhs: si });
+            return Err(DfgError::ShapeMismatch {
+                op: "Gather".into(),
+                lhs: sp,
+                rhs: si,
+            });
         }
         let mut dims = si.dims().to_vec();
         dims.extend_from_slice(&sp.dims()[1..]);
@@ -490,7 +541,11 @@ impl GraphBuilder {
         let sv = var_node.shape.clone();
         let sx = self.shape_of(value)?;
         if !is_variable || !sv.compatible(&sx) {
-            return Err(DfgError::ShapeMismatch { op: op.name().into(), lhs: sv, rhs: sx });
+            return Err(DfgError::ShapeMismatch {
+                op: op.name().into(),
+                lhs: sv,
+                rhs: sx,
+            });
         }
         Ok(self.push(op, vec![var, value], sv))
     }
@@ -541,7 +596,10 @@ mod tests {
         let b = g.placeholder("b", Shape::vector(5)).unwrap();
         assert!(matches!(g.add(a, b), Err(DfgError::ShapeMismatch { .. })));
         assert!(matches!(g.sum(a, 1), Err(DfgError::AxisOutOfRange { .. })));
-        assert!(matches!(g.placeholder("a", Shape::scalar()), Err(DfgError::DuplicateName(_))));
+        assert!(matches!(
+            g.placeholder("a", Shape::scalar()),
+            Err(DfgError::DuplicateName(_))
+        ));
     }
 
     #[test]
@@ -590,7 +648,9 @@ mod tests {
         let b = g.placeholder("b", Shape::vector(4)).unwrap();
         let p = g.pack(&[a, b], 0).unwrap();
         let r = g.reshape(p, Shape::vector(8)).unwrap();
-        let idx = g.constant(Tensor::from_vec(vec![0.0, 3.0], Shape::vector(2)).unwrap()).unwrap();
+        let idx = g
+            .constant(Tensor::from_vec(vec![0.0, 3.0], Shape::vector(2)).unwrap())
+            .unwrap();
         let got = g.gather(r, idx).unwrap();
         let graph = g.finish();
         assert_eq!(graph.node(p).unwrap().shape(), &Shape::matrix(2, 4));
@@ -627,7 +687,9 @@ mod tests {
     fn conv2d_same_shape() {
         let mut g = GraphBuilder::new();
         let x = g.placeholder("x", Shape::matrix(8, 8)).unwrap();
-        let f = g.constant(Tensor::filled(1.0 / 9.0, Shape::matrix(3, 3))).unwrap();
+        let f = g
+            .constant(Tensor::filled(1.0 / 9.0, Shape::matrix(3, 3)))
+            .unwrap();
         let y = g.conv2d(x, f).unwrap();
         assert_eq!(g.finish().node(y).unwrap().shape(), &Shape::matrix(8, 8));
     }

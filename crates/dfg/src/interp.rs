@@ -28,7 +28,11 @@ impl<'g> Interpreter<'g> {
                 variables.insert(name.clone(), init.clone());
             }
         }
-        Interpreter { graph, feeds: HashMap::new(), variables }
+        Interpreter {
+            graph,
+            feeds: HashMap::new(),
+            variables,
+        }
     }
 
     /// Supplies a placeholder value.
@@ -102,7 +106,13 @@ impl<'g> Interpreter<'g> {
                     }
                 };
                 let data = (0..n)
-                    .map(|i| if pick(cond, i) != 0.0 { pick(a, i) } else { pick(b, i) })
+                    .map(|i| {
+                        if pick(cond, i) != 0.0 {
+                            pick(a, i)
+                        } else {
+                            pick(b, i)
+                        }
+                    })
                     .collect();
                 Tensor::from_vec(data, shape)
             }
@@ -115,7 +125,11 @@ impl<'g> Interpreter<'g> {
             }
             Op::Reshape { shape } => input(0).reshape(shape.clone()),
             Op::Pack { axis } => pack(
-                &node.inputs().iter().map(|id| values[id].clone()).collect::<Vec<_>>(),
+                &node
+                    .inputs()
+                    .iter()
+                    .map(|id| values[id].clone())
+                    .collect::<Vec<_>>(),
                 *axis,
             ),
             Op::Gather => gather(input(0), input(1)),
@@ -175,9 +189,9 @@ fn reduce(op: ReduceOp, x: &Tensor, axis: usize) -> Tensor {
                 out_dim += 1;
             }
             match op {
-                ReduceOp::Sum => {
-                    (0..axis_len).map(|k| x.data()[base + k * axis_stride]).sum()
-                }
+                ReduceOp::Sum => (0..axis_len)
+                    .map(|k| x.data()[base + k * axis_stride])
+                    .sum(),
                 ReduceOp::ArgMin => {
                     let mut best = 0usize;
                     let mut best_value = f64::INFINITY;
@@ -278,7 +292,9 @@ fn gather(params: &Tensor, indices: &Tensor) -> Result<Tensor, DfgError> {
     for &raw in indices.data() {
         let index = raw.round();
         if index < 0.0 || index as usize >= rows {
-            return Err(DfgError::Domain(format!("gather index {index} out of range 0..{rows}")));
+            return Err(DfgError::Domain(format!(
+                "gather index {index} out of range 0..{rows}"
+            )));
         }
         let index = index as usize;
         data.extend_from_slice(&params.data()[index * row..(index + 1) * row]);
@@ -310,7 +326,10 @@ mod tests {
         let mut interp = Interpreter::new(&graph);
         interp.feed("x", vec_tensor(&[0.0, 1.0, 2.0]));
         let out = interp.run().unwrap();
-        let expect: Vec<f64> = [0.0f64, 1.0, 2.0].iter().map(|x| (x * x + 1.0).sqrt()).collect();
+        let expect: Vec<f64> = [0.0f64, 1.0, 2.0]
+            .iter()
+            .map(|x| (x * x + 1.0).sqrt())
+            .collect();
         assert_eq!(out[&z].data(), expect.as_slice());
     }
 
@@ -409,13 +428,17 @@ mod tests {
     fn conv2d_averaging_filter_with_padding() {
         let mut g = GraphBuilder::new();
         let x = g.placeholder("x", Shape::matrix(2, 2)).unwrap();
-        let f = g.constant(Tensor::filled(1.0, Shape::matrix(3, 3))).unwrap();
+        let f = g
+            .constant(Tensor::filled(1.0, Shape::matrix(3, 3)))
+            .unwrap();
         let y = g.conv2d(x, f).unwrap();
         g.fetch(y);
         let graph = g.finish();
         let mut interp = Interpreter::new(&graph);
-        interp
-            .feed("x", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::matrix(2, 2)).unwrap());
+        interp.feed(
+            "x",
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::matrix(2, 2)).unwrap(),
+        );
         let values = interp.run().unwrap();
         // Every output sums all in-bounds neighbours = the whole 2×2 input.
         assert_eq!(values[&y].data(), &[10.0; 4]);
@@ -485,7 +508,10 @@ mod tests {
         let got = g.gather(a, idx).unwrap();
         g.fetch(got);
         let graph = g.finish();
-        assert!(matches!(Interpreter::new(&graph).run(), Err(DfgError::Domain(_))));
+        assert!(matches!(
+            Interpreter::new(&graph).run(),
+            Err(DfgError::Domain(_))
+        ));
     }
 
     #[test]

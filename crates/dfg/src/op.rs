@@ -220,7 +220,10 @@ impl Op {
 
     /// Whether this is an input node (`Const`, `Placeholder`, `Variable`).
     pub fn is_input(&self) -> bool {
-        matches!(self, Op::Const(_) | Op::Placeholder { .. } | Op::Variable { .. })
+        matches!(
+            self,
+            Op::Const(_) | Op::Placeholder { .. } | Op::Variable { .. }
+        )
     }
 
     /// Whether the node computes element-wise over its operands (the
@@ -232,7 +235,10 @@ impl Op {
     /// Whether the node requires cross-module communication (reduction,
     /// scatter/gather — the restricted communication of §3/§4).
     pub fn is_communication(&self) -> bool {
-        matches!(self, Op::Reduce { .. } | Op::Gather | Op::MatMul | Op::Tensordot | Op::Conv2D)
+        matches!(
+            self,
+            Op::Reduce { .. } | Op::Gather | Op::MatMul | Op::Tensordot | Op::Conv2D
+        )
     }
 }
 
@@ -275,7 +281,11 @@ mod tests {
         assert!(Op::Const(Tensor::scalar(1.0)).is_input());
         assert!(Op::Unary(UnaryOp::Abs).is_elementwise());
         assert!(Op::Select.is_elementwise());
-        assert!(Op::Reduce { op: ReduceOp::Sum, axis: 0 }.is_communication());
+        assert!(Op::Reduce {
+            op: ReduceOp::Sum,
+            axis: 0
+        }
+        .is_communication());
         assert!(!Op::Binary(BinaryOp::Add).is_communication());
         assert!(BinaryOp::Add.is_commutative());
         assert!(!BinaryOp::Sub.is_commutative());
@@ -286,7 +296,14 @@ mod tests {
         assert_eq!(Op::Select.name(), "Select");
         assert_eq!(Op::Unary(UnaryOp::Sigmoid).name(), "Sigmoid");
         assert_eq!(Op::Binary(BinaryOp::FloorDiv).name(), "FloorDiv");
-        assert_eq!(Op::Reduce { op: ReduceOp::ArgMin, axis: 0 }.name(), "ArgMin");
+        assert_eq!(
+            Op::Reduce {
+                op: ReduceOp::ArgMin,
+                axis: 0
+            }
+            .name(),
+            "ArgMin"
+        );
         assert_eq!(Op::Pack { axis: 0 }.name(), "Pack");
     }
 }

@@ -122,7 +122,11 @@ pub fn analyze(
         let interval = match node.op() {
             Op::Const(value) => {
                 let lo = value.data().iter().copied().fold(f64::INFINITY, f64::min);
-                let hi = value.data().iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let hi = value
+                    .data()
+                    .iter()
+                    .copied()
+                    .fold(f64::NEG_INFINITY, f64::max);
                 if value.data().is_empty() {
                     Interval::point(0.0)
                 } else {
@@ -180,7 +184,11 @@ pub fn analyze(
         .map(QFormat)
         .find(|q| worst <= q.max_value());
 
-    Ok(RangeReport { node_ranges: ranges, recommended_format, overflows })
+    Ok(RangeReport {
+        node_ranges: ranges,
+        recommended_format,
+        overflows,
+    })
 }
 
 fn contraction_len(graph: &Graph, id: NodeId) -> Result<usize, DfgError> {
@@ -209,13 +217,14 @@ fn unary_interval(op: UnaryOp, x: Interval) -> Result<Interval, DfgError> {
         }
         UnaryOp::Square => {
             let m = x.max_abs();
-            let lo = if x.lo <= 0.0 && x.hi >= 0.0 { 0.0 } else { x.lo.abs().min(x.hi.abs()) };
+            let lo = if x.lo <= 0.0 && x.hi >= 0.0 {
+                0.0
+            } else {
+                x.lo.abs().min(x.hi.abs())
+            };
             Interval::new(lo * lo, m * m)
         }
-        UnaryOp::Sigmoid => Interval::new(
-            1.0 / (1.0 + (-x.lo).exp()),
-            1.0 / (1.0 + (-x.hi).exp()),
-        ),
+        UnaryOp::Sigmoid => Interval::new(1.0 / (1.0 + (-x.lo).exp()), 1.0 / (1.0 + (-x.hi).exp())),
         UnaryOp::Identity => x,
         UnaryOp::Neg => Interval::new(-x.hi, -x.lo),
     })
@@ -269,8 +278,7 @@ mod tests {
         let y = g.add(sq, one).unwrap();
         g.fetch(y);
         let graph = g.finish();
-        let report =
-            analyze(&graph, &ranges(&[("x", -3.0, 3.0)]), QFormat::Q16_16).unwrap();
+        let report = analyze(&graph, &ranges(&[("x", -3.0, 3.0)]), QFormat::Q16_16).unwrap();
         let r = report.node_ranges[&y];
         assert_eq!(r.lo, 1.0);
         assert_eq!(r.hi, 10.0);
@@ -286,8 +294,7 @@ mod tests {
         g.fetch(sq2);
         let graph = g.finish();
         // x up to 100 → x⁴ up to 1e8, far beyond Q16.16's 32767.
-        let report =
-            analyze(&graph, &ranges(&[("x", -100.0, 100.0)]), QFormat::Q16_16).unwrap();
+        let report = analyze(&graph, &ranges(&[("x", -100.0, 100.0)]), QFormat::Q16_16).unwrap();
         assert!(report.overflows.contains(&sq2));
         // The recommendation trades fraction bits for range.
         let rec = report.recommended_format.unwrap();
@@ -315,11 +322,18 @@ mod tests {
         let d = g.div(a, b).unwrap();
         g.fetch(d);
         let graph = g.finish();
-        let bad = analyze(&graph, &ranges(&[("a", 0.0, 1.0), ("b", -1.0, 1.0)]), QFormat::Q16_16);
+        let bad = analyze(
+            &graph,
+            &ranges(&[("a", 0.0, 1.0), ("b", -1.0, 1.0)]),
+            QFormat::Q16_16,
+        );
         assert!(matches!(bad, Err(DfgError::Domain(_))));
-        let good =
-            analyze(&graph, &ranges(&[("a", 0.0, 1.0), ("b", 0.5, 2.0)]), QFormat::Q16_16)
-                .unwrap();
+        let good = analyze(
+            &graph,
+            &ranges(&[("a", 0.0, 1.0), ("b", 0.5, 2.0)]),
+            QFormat::Q16_16,
+        )
+        .unwrap();
         assert_eq!(good.node_ranges[&d], Interval::new(0.0, 2.0));
     }
 
@@ -355,8 +369,7 @@ mod tests {
         let s = g.sigmoid(x).unwrap();
         g.fetch(s);
         let graph = g.finish();
-        let report =
-            analyze(&graph, &ranges(&[("x", -100.0, 100.0)]), QFormat::Q16_16).unwrap();
+        let report = analyze(&graph, &ranges(&[("x", -100.0, 100.0)]), QFormat::Q16_16).unwrap();
         let r = report.node_ranges[&s];
         assert!(r.lo >= 0.0 && r.hi <= 1.0);
     }

@@ -118,10 +118,14 @@ impl Shape {
     pub fn offset(&self, index: &[usize]) -> usize {
         assert_eq!(index.len(), self.rank(), "index rank mismatch");
         let strides = self.strides();
-        index.iter().zip(&strides).zip(&self.0).fold(0, |acc, ((&i, &s), &d)| {
-            assert!(i < d, "index {i} out of bound {d}");
-            acc + i * s
-        })
+        index
+            .iter()
+            .zip(&strides)
+            .zip(&self.0)
+            .fold(0, |acc, ((&i, &s), &d)| {
+                assert!(i < d, "index {i} out of bound {d}");
+                acc + i * s
+            })
     }
 }
 

@@ -20,7 +20,10 @@ pub struct Tensor {
 impl Tensor {
     /// A rank-0 scalar.
     pub fn scalar(value: f64) -> Self {
-        Tensor { shape: Shape::scalar(), data: vec![value] }
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
     }
 
     /// A tensor from data in row-major order.
@@ -30,7 +33,10 @@ impl Tensor {
     /// `shape.elems()`.
     pub fn from_vec(data: Vec<f64>, shape: Shape) -> Result<Self, DfgError> {
         if data.len() != shape.elems() {
-            return Err(DfgError::DataShapeMismatch { len: data.len(), expect: shape.elems() });
+            return Err(DfgError::DataShapeMismatch {
+                len: data.len(),
+                expect: shape.elems(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -86,7 +92,10 @@ impl Tensor {
 
     /// Element-wise map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Element-wise combination of two compatible tensors (scalar operands
@@ -95,11 +104,14 @@ impl Tensor {
     /// # Errors
     /// Returns [`DfgError::ShapeMismatch`] for incompatible shapes.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Result<Tensor, DfgError> {
-        let shape = self.shape.broadcast(&other.shape).ok_or_else(|| DfgError::ShapeMismatch {
-            op: "zip".into(),
-            lhs: self.shape.clone(),
-            rhs: other.shape.clone(),
-        })?;
+        let shape = self
+            .shape
+            .broadcast(&other.shape)
+            .ok_or_else(|| DfgError::ShapeMismatch {
+                op: "zip".into(),
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            })?;
         let n = shape.elems();
         // A prefix-shaped operand broadcasts over the trailing axes: its
         // element for output index i is i / (n / len).
@@ -123,9 +135,15 @@ impl Tensor {
     /// Returns [`DfgError::BadReshape`] if the element counts differ.
     pub fn reshape(&self, shape: Shape) -> Result<Tensor, DfgError> {
         if shape.elems() != self.shape.elems() {
-            return Err(DfgError::BadReshape { from: self.shape.clone(), to: shape });
+            return Err(DfgError::BadReshape {
+                from: self.shape.clone(),
+                to: shape,
+            });
         }
-        Ok(Tensor { shape, data: self.data.clone() })
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
     }
 
     /// Quantizes every element to fixed point and back, yielding the value
@@ -158,7 +176,13 @@ impl fmt::Display for Tensor {
         if self.data.len() <= 8 {
             write!(f, "{:?}", self.data)
         } else {
-            write!(f, "[{}, {}, … ({} elems)]", self.data[0], self.data[1], self.data.len())
+            write!(
+                f,
+                "[{}, {}, … ({} elems)]",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
         }
     }
 }

@@ -66,10 +66,13 @@ pub fn parse(text: &str) -> Result<ParsedGraph, DfgError> {
         if line.is_empty() {
             continue;
         }
-        parse_line(line, &mut g, &mut names, &mut ranges)
-            .map_err(|e| syntax(line_no, &e))?;
+        parse_line(line, &mut g, &mut names, &mut ranges).map_err(|e| syntax(line_no, &e))?;
     }
-    Ok(ParsedGraph { graph: g.finish(), names, ranges })
+    Ok(ParsedGraph {
+        graph: g.finish(),
+        names,
+        ranges,
+    })
 }
 
 /// Renders a graph back to the text format. Placeholders and variables
@@ -95,8 +98,7 @@ pub fn render(graph: &Graph, ranges: &HashMap<String, Interval>) -> String {
                 let _ = writeln!(out, "placeholder {name} {}", shape_str(node.shape()));
             }
             Op::Variable { name, init } => {
-                let values: Vec<String> =
-                    init.data().iter().map(f64::to_string).collect();
+                let values: Vec<String> = init.data().iter().map(f64::to_string).collect();
                 let _ = writeln!(
                     out,
                     "variable {name} {} {}",
@@ -108,8 +110,7 @@ pub fn render(graph: &Graph, ranges: &HashMap<String, Interval>) -> String {
                 if tensor.shape().is_scalar() {
                     let _ = writeln!(out, "const {out_name} = {}", tensor.data()[0]);
                 } else {
-                    let values: Vec<String> =
-                        tensor.data().iter().map(f64::to_string).collect();
+                    let values: Vec<String> = tensor.data().iter().map(f64::to_string).collect();
                     let _ = writeln!(
                         out,
                         "const {out_name} {} {}",
@@ -119,8 +120,7 @@ pub fn render(graph: &Graph, ranges: &HashMap<String, Interval>) -> String {
                 }
             }
             Op::Unary(u) => {
-                let _ =
-                    writeln!(out, "{} {out_name} {}", u.name().to_lowercase(), ins[0]);
+                let _ = writeln!(out, "{} {out_name} {}", u.name().to_lowercase(), ins[0]);
             }
             Op::Binary(b) => {
                 let keyword = match b.name() {
@@ -130,11 +130,7 @@ pub fn render(graph: &Graph, ranges: &HashMap<String, Interval>) -> String {
                 let _ = writeln!(out, "{keyword} {out_name} {} {}", ins[0], ins[1]);
             }
             Op::Select => {
-                let _ = writeln!(
-                    out,
-                    "select {out_name} {} {} {}",
-                    ins[0], ins[1], ins[2]
-                );
+                let _ = writeln!(out, "select {out_name} {} {} {}", ins[0], ins[1], ins[2]);
             }
             Op::Reduce { op, axis } => {
                 let _ = writeln!(
@@ -217,9 +213,12 @@ fn parse_line(
         }
         "const" => {
             if tokens.len() >= 3 && tokens[1] == "=" {
-                let value: f64 =
-                    tokens[2].parse().map_err(|_| format!("bad number `{}`", tokens[2]))?;
-                let id = g.constant(Tensor::scalar(value)).map_err(|e| e.to_string())?;
+                let value: f64 = tokens[2]
+                    .parse()
+                    .map_err(|_| format!("bad number `{}`", tokens[2]))?;
+                let id = g
+                    .constant(Tensor::scalar(value))
+                    .map_err(|e| e.to_string())?;
                 names.insert(tokens[0].clone(), id);
             } else {
                 let (name, shape) = name_and_shape(&tokens)?;
@@ -244,7 +243,10 @@ fn parse_line(
             ranges.insert(tokens[0].clone(), Interval::new(lo, hi));
         }
         op => {
-            let out = tokens.first().ok_or("operation needs an output name")?.clone();
+            let out = tokens
+                .first()
+                .ok_or("operation needs an output name")?
+                .clone();
             let (attrs, operands): (Vec<&String>, Vec<&String>) =
                 tokens[1..].iter().partition(|t| t.contains('='));
             let inputs: Vec<NodeId> = operands
@@ -337,11 +339,13 @@ fn build_op(
         }
         "argmin" => {
             need(1)?;
-            g.argmin(inputs[0], axis.ok_or("argmin needs axis=")?).map_err(e)
+            g.argmin(inputs[0], axis.ok_or("argmin needs axis=")?)
+                .map_err(e)
         }
         "expand_dims" => {
             need(1)?;
-            g.expand_dims(inputs[0], axis.ok_or("expand_dims needs axis=")?).map_err(e)
+            g.expand_dims(inputs[0], axis.ok_or("expand_dims needs axis=")?)
+                .map_err(e)
         }
         "matmul" => {
             need(2)?;
@@ -383,7 +387,10 @@ fn build_op(
 }
 
 fn lookup(names: &HashMap<String, NodeId>, name: &str) -> Result<NodeId, String> {
-    names.get(name).copied().ok_or_else(|| format!("unknown node `{name}`"))
+    names
+        .get(name)
+        .copied()
+        .ok_or_else(|| format!("unknown node `{name}`"))
 }
 
 /// Splits a line into tokens, keeping `[…]` groups together.
@@ -437,7 +444,11 @@ fn parse_shape(token: &str) -> Result<Shape, String> {
     }
     let dims: Result<Vec<usize>, _> = inner
         .split(',')
-        .map(|d| d.trim().parse::<usize>().map_err(|_| format!("bad dim `{d}`")))
+        .map(|d| {
+            d.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad dim `{d}`"))
+        })
         .collect();
     Ok(Shape::new(dims?))
 }
@@ -496,7 +507,10 @@ mod tests {
         assert_eq!(parsed.graph.outputs().len(), 1);
         assert_eq!(parsed.ranges["x"], Interval::new(-1.0, 1.0));
         let mut interp = Interpreter::new(&parsed.graph);
-        interp.feed("x", Tensor::from_fn(Shape::new(vec![4, 16]), |i| (i % 5) as f64 / 5.0));
+        interp.feed(
+            "x",
+            Tensor::from_fn(Shape::new(vec![4, 16]), |i| (i % 5) as f64 / 5.0),
+        );
         let out = interp.run().unwrap();
         let y = parsed.names["y"];
         assert!(out[&y].data().iter().all(|v| (0.0..=1.0).contains(v)));
@@ -604,7 +618,7 @@ mod tests {
                 .iter()
                 .map(|id| values[id].data().to_vec())
                 .collect();
-            data.sort_by(|a, b| a.len().cmp(&b.len()));
+            data.sort_by_key(|a| a.len());
             data
         };
         assert_eq!(run(&first.graph), run(&second.graph));

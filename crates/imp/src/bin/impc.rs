@@ -78,11 +78,13 @@ fn main() -> ExitCode {
     println!("  parallelism        : {:?}", kernel.parallel);
     println!("  instruction blocks : {}", kernel.ibs.len());
     println!("  total instructions : {}", kernel.stats.total_instructions);
-    println!("  module latency     : {} array cycles", kernel.module_latency());
+    println!(
+        "  module latency     : {} array cycles",
+        kernel.module_latency()
+    );
     println!("  cross-IB moves     : {}", kernel.stats.cross_ib_moves);
     let mix = kernel.instruction_mix();
-    let mix_line: Vec<String> =
-        mix.iter().map(|(m, c)| format!("{m}:{c}")).collect();
+    let mix_line: Vec<String> = mix.iter().map(|(m, c)| format!("{m}:{c}")).collect();
     println!("  instruction mix    : {}", mix_line.join(" "));
     let est = perf::estimate(&kernel, kernel.parallel.instances(), ChipCapacity::paper());
     println!(
@@ -99,10 +101,7 @@ fn main() -> ExitCode {
         let mut inputs: HashMap<String, Tensor> = HashMap::new();
         for node in parsed.graph.nodes() {
             if let imp_dfg::Op::Placeholder { name } = node.op() {
-                let mid = parsed
-                    .ranges
-                    .get(name)
-                    .map_or(1.0, |r| (r.lo + r.hi) / 2.0);
+                let mid = parsed.ranges.get(name).map_or(1.0, |r| (r.lo + r.hi) / 2.0);
                 inputs.insert(name.clone(), Tensor::filled(mid, node.shape().clone()));
             }
         }
@@ -118,8 +117,7 @@ fn main() -> ExitCode {
                         .iter()
                         .find(|(_, &id)| id == node)
                         .map_or_else(|| node.to_string(), |(n, _)| n.clone());
-                    let preview: Vec<f64> =
-                        tensor.data().iter().take(4).copied().collect();
+                    let preview: Vec<f64> = tensor.data().iter().take(4).copied().collect();
                     println!("  {name} = {preview:?}…");
                 }
             }

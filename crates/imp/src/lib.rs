@@ -65,6 +65,9 @@ pub use imp_dfg::{
 };
 pub use imp_isa as isa;
 pub use imp_noc as noc;
-pub use imp_rram::{AnalogSpec, Fixed, QFormat};
-pub use imp_sim::{Machine, RunReport, SimConfig, SimError};
+pub use imp_rram::{AnalogSpec, FaultMap, FaultRates, Fixed, QFormat};
+pub use imp_sim::{
+    FaultConfig, FaultEvent, FaultKind, FaultPolicy, FaultSite, Machine, RunReport, SimConfig,
+    SimError,
+};
 pub use imp_workloads as workloads;

@@ -121,10 +121,17 @@ impl Session {
         config: SimConfig,
     ) -> Result<Self, Error> {
         let mut candidates = Vec::new();
-        for policy in [OptPolicy::MaxDlp, OptPolicy::MaxIlp, OptPolicy::MaxArrayUtil] {
+        for policy in [
+            OptPolicy::MaxDlp,
+            OptPolicy::MaxIlp,
+            OptPolicy::MaxArrayUtil,
+        ] {
             let candidate = imp_compiler::compile(
                 &graph,
-                &CompileOptions { policy, ..options.clone() },
+                &CompileOptions {
+                    policy,
+                    ..options.clone()
+                },
             )?;
             if !candidates
                 .iter()
@@ -147,7 +154,12 @@ impl Session {
                 variables.insert(name.clone(), init.clone());
             }
         }
-        Session { graph, kernel, machine: Machine::new(config), variables }
+        Session {
+            graph,
+            kernel,
+            machine: Machine::new(config),
+            variables,
+        }
     }
 
     /// The compiled kernel.
@@ -233,11 +245,17 @@ mod tests {
             imp_sim::SimConfig::functional(),
         )
         .unwrap();
-        assert!(session.kernel().ibs.len() > 1, "tiny input should favour ILP");
+        assert!(
+            session.kernel().ibs.len() > 1,
+            "tiny input should favour ILP"
+        );
         // Functional check through the adaptive path.
         let mut session = session;
         let out = session
-            .run(&[("x", Tensor::from_fn(Shape::new(vec![8, 16]), |i| i as f64 / 8.0))])
+            .run(&[(
+                "x",
+                Tensor::from_fn(Shape::new(vec![8, 16]), |i| i as f64 / 8.0),
+            )])
             .unwrap();
         assert!(out.report().cycles > 0);
     }
@@ -251,7 +269,9 @@ mod tests {
         g.fetch(y);
         let mut session = Session::new(g.finish(), CompileOptions::default()).unwrap();
         session.set_variable("w", Tensor::filled(10.0, Shape::vector(4)));
-        let out = session.run(&[("x", Tensor::filled(1.0, Shape::vector(4)))]).unwrap();
+        let out = session
+            .run(&[("x", Tensor::filled(1.0, Shape::vector(4)))])
+            .unwrap();
         assert!((out.output(y).unwrap().data()[0] - 11.0).abs() < 1e-3);
     }
 }

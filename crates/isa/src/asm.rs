@@ -32,7 +32,10 @@ pub fn assemble(name: impl Into<String>, text: &str) -> Result<InstructionBlock,
         if line.is_empty() {
             continue;
         }
-        block.push(parse_line(line).map_err(|message| IsaError::Parse { line: line_no, message })?);
+        block.push(parse_line(line).map_err(|message| IsaError::Parse {
+            line: line_no,
+            message,
+        })?);
     }
     Ok(block)
 }
@@ -45,20 +48,27 @@ pub fn disassemble(block: &InstructionBlock) -> String {
 fn parse_line(line: &str) -> Result<Instruction, String> {
     let mut parts = line.split_whitespace();
     let mnemonic = parts.next().ok_or("empty line")?;
-    let opcode: Opcode =
-        mnemonic.parse().map_err(|_| format!("unknown mnemonic `{mnemonic}`"))?;
+    let opcode: Opcode = mnemonic
+        .parse()
+        .map_err(|_| format!("unknown mnemonic `{mnemonic}`"))?;
     let operands: Vec<&str> = parts.collect();
     let expect = |n: usize| -> Result<(), String> {
         if operands.len() == n {
             Ok(())
         } else {
-            Err(format!("{mnemonic} expects {n} operands, got {}", operands.len()))
+            Err(format!(
+                "{mnemonic} expects {n} operands, got {}",
+                operands.len()
+            ))
         }
     };
     match opcode {
         Opcode::Add => {
             expect(2)?;
-            Ok(Instruction::Add { mask: parse_row_mask(operands[0])?, dst: parse_addr(operands[1])? })
+            Ok(Instruction::Add {
+                mask: parse_row_mask(operands[0])?,
+                dst: parse_addr(operands[1])?,
+            })
         }
         Opcode::Dot => {
             expect(3)?;
@@ -108,7 +118,10 @@ fn parse_line(line: &str) -> Result<Instruction, String> {
         }
         Opcode::Mov => {
             expect(2)?;
-            Ok(Instruction::Mov { src: parse_addr(operands[0])?, dst: parse_addr(operands[1])? })
+            Ok(Instruction::Mov {
+                src: parse_addr(operands[0])?,
+                dst: parse_addr(operands[1])?,
+            })
         }
         Opcode::Movs => {
             expect(3)?;
@@ -134,7 +147,10 @@ fn parse_line(line: &str) -> Result<Instruction, String> {
         }
         Opcode::Lut => {
             expect(2)?;
-            Ok(Instruction::Lut { src: parse_addr(operands[0])?, dst: parse_addr(operands[1])? })
+            Ok(Instruction::Lut {
+                src: parse_addr(operands[0])?,
+                dst: parse_addr(operands[1])?,
+            })
         }
         Opcode::ReduceSum => {
             expect(2)?;
@@ -157,12 +173,19 @@ fn parse_addr(token: &str) -> Result<Addr, String> {
 }
 
 fn parse_global(token: &str) -> Result<GlobalAddr, String> {
-    let rest = token.strip_prefix('g').ok_or_else(|| format!("bad global address `{token}`"))?;
+    let rest = token
+        .strip_prefix('g')
+        .ok_or_else(|| format!("bad global address `{token}`"))?;
     let fields: Vec<&str> = rest.split('.').collect();
     if fields.len() != 3 {
-        return Err(format!("bad global address `{token}`: expected g<tile>.<array>.<row>"));
+        return Err(format!(
+            "bad global address `{token}`: expected g<tile>.<array>.<row>"
+        ));
     }
-    let parse = |s: &str| s.parse::<usize>().map_err(|_| format!("bad global address `{token}`"));
+    let parse = |s: &str| {
+        s.parse::<usize>()
+            .map_err(|_| format!("bad global address `{token}`"))
+    };
     let (tile, array, row) = (parse(fields[0])?, parse(fields[1])?, parse(fields[2])?);
     if tile >= 4096 || array >= 64 || row >= crate::ARRAY_ROWS {
         return Err(format!("global address `{token}` field out of range"));
@@ -180,7 +203,10 @@ fn parse_row_mask(token: &str) -> Result<RowMask, String> {
     }
     let mut rows = Vec::new();
     for part in inner.split(',') {
-        let row: usize = part.trim().parse().map_err(|_| format!("bad row mask `{token}`"))?;
+        let row: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad row mask `{token}`"))?;
         if row >= crate::ARRAY_ROWS {
             return Err(format!("row {row} out of range in mask `{token}`"));
         }
@@ -190,7 +216,9 @@ fn parse_row_mask(token: &str) -> Result<RowMask, String> {
 }
 
 fn parse_lane_mask(token: &str) -> Result<LaneMask, String> {
-    let rest = token.strip_prefix('%').ok_or_else(|| format!("bad lane mask `{token}`"))?;
+    let rest = token
+        .strip_prefix('%')
+        .ok_or_else(|| format!("bad lane mask `{token}`"))?;
     let bits = parse_u32_literal(rest).ok_or_else(|| format!("bad lane mask `{token}`"))?;
     if bits > 0xff {
         return Err(format!("lane mask `{token}` exceeds 8 bits"));
@@ -199,12 +227,17 @@ fn parse_lane_mask(token: &str) -> Result<LaneMask, String> {
 }
 
 fn parse_imm_i32(token: &str) -> Result<i32, String> {
-    let rest = token.strip_prefix('#').ok_or_else(|| format!("bad immediate `{token}`"))?;
-    rest.parse::<i32>().map_err(|_| format!("bad immediate `{token}`"))
+    let rest = token
+        .strip_prefix('#')
+        .ok_or_else(|| format!("bad immediate `{token}`"))?;
+    rest.parse::<i32>()
+        .map_err(|_| format!("bad immediate `{token}`"))
 }
 
 fn parse_imm_u32(token: &str) -> Result<u32, String> {
-    let rest = token.strip_prefix('#').ok_or_else(|| format!("bad immediate `{token}`"))?;
+    let rest = token
+        .strip_prefix('#')
+        .ok_or_else(|| format!("bad immediate `{token}`"))?;
     parse_u32_literal(rest).ok_or_else(|| format!("bad immediate `{token}`"))
 }
 
@@ -233,7 +266,10 @@ mod tests {
         assert_eq!(block.len(), 4);
         assert_eq!(
             block.instructions()[2],
-            Instruction::Add { mask: RowMask::from_rows([0, 1]), dst: Addr::mem(2) }
+            Instruction::Add {
+                mask: RowMask::from_rows([0, 1]),
+                dst: Addr::mem(2)
+            }
         );
     }
 

@@ -18,15 +18,18 @@ pub struct InstructionBlock {
 impl InstructionBlock {
     /// Creates an empty block with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        InstructionBlock { name: name.into(), instructions: Vec::new() }
+        InstructionBlock {
+            name: name.into(),
+            instructions: Vec::new(),
+        }
     }
 
     /// Creates a block from a list of instructions.
-    pub fn from_instructions(
-        name: impl Into<String>,
-        instructions: Vec<Instruction>,
-    ) -> Self {
-        InstructionBlock { name: name.into(), instructions }
+    pub fn from_instructions(name: impl Into<String>, instructions: Vec<Instruction>) -> Self {
+        InstructionBlock {
+            name: name.into(),
+            instructions,
+        }
     }
 
     /// The block's name (used in diagnostics and scheduling traces).
@@ -97,7 +100,10 @@ impl InstructionBlock {
 
 impl FromIterator<Instruction> for InstructionBlock {
     fn from_iter<I: IntoIterator<Item = Instruction>>(iter: I) -> Self {
-        InstructionBlock { name: String::new(), instructions: iter.into_iter().collect() }
+        InstructionBlock {
+            name: String::new(),
+            instructions: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -135,10 +141,23 @@ mod tests {
         InstructionBlock::from_instructions(
             "b0",
             vec![
-                Instruction::Movi { dst: Addr::mem(0), imm: Imm::broadcast(1) },
-                Instruction::Movi { dst: Addr::mem(1), imm: Imm::broadcast(2) },
-                Instruction::Add { mask: RowMask::from_rows([0, 1]), dst: Addr::mem(2) },
-                Instruction::Mul { a: Addr::mem(2), b: Addr::mem(2), dst: Addr::mem(3) },
+                Instruction::Movi {
+                    dst: Addr::mem(0),
+                    imm: Imm::broadcast(1),
+                },
+                Instruction::Movi {
+                    dst: Addr::mem(1),
+                    imm: Imm::broadcast(2),
+                },
+                Instruction::Add {
+                    mask: RowMask::from_rows([0, 1]),
+                    dst: Addr::mem(2),
+                },
+                Instruction::Mul {
+                    a: Addr::mem(2),
+                    b: Addr::mem(2),
+                    dst: Addr::mem(3),
+                },
             ],
         )
     }

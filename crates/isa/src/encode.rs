@@ -17,7 +17,11 @@ impl Instruction {
                 out.extend_from_slice(&mask.to_bytes());
                 out.push(dst.to_byte());
             }
-            Instruction::Dot { mask, reg_mask, dst } => {
+            Instruction::Dot {
+                mask,
+                reg_mask,
+                dst,
+            } => {
                 out.extend_from_slice(&mask.to_bytes());
                 out.extend_from_slice(&reg_mask.to_bytes());
                 out.push(dst.to_byte());
@@ -27,7 +31,11 @@ impl Instruction {
                 out.push(b.to_byte());
                 out.push(dst.to_byte());
             }
-            Instruction::Sub { minuend, subtrahend, dst } => {
+            Instruction::Sub {
+                minuend,
+                subtrahend,
+                dst,
+            } => {
                 out.extend_from_slice(&minuend.to_bytes());
                 out.extend_from_slice(&subtrahend.to_bytes());
                 out.push(dst.to_byte());
@@ -46,7 +54,11 @@ impl Instruction {
                 out.push(src.to_byte());
                 out.push(dst.to_byte());
             }
-            Instruction::Movs { src, dst, lane_mask } => {
+            Instruction::Movs {
+                src,
+                dst,
+                lane_mask,
+            } => {
                 out.push(src.to_byte());
                 out.push(dst.to_byte());
                 out.push(lane_mask.bits());
@@ -84,7 +96,10 @@ impl Instruction {
         let mut cursor = Cursor { bytes, pos: 0 };
         let opcode = Opcode::from_byte(cursor.u8()?)?;
         let inst = match opcode {
-            Opcode::Add => Instruction::Add { mask: cursor.row_mask()?, dst: cursor.addr()? },
+            Opcode::Add => Instruction::Add {
+                mask: cursor.row_mask()?,
+                dst: cursor.addr()?,
+            },
             Opcode::Dot => Instruction::Dot {
                 mask: cursor.row_mask()?,
                 reg_mask: cursor.row_mask()?,
@@ -115,20 +130,31 @@ impl Instruction {
                 dst: cursor.addr()?,
                 imm: cursor.u32()?,
             },
-            Opcode::Mov => Instruction::Mov { src: cursor.addr()?, dst: cursor.addr()? },
+            Opcode::Mov => Instruction::Mov {
+                src: cursor.addr()?,
+                dst: cursor.addr()?,
+            },
             Opcode::Movs => Instruction::Movs {
                 src: cursor.addr()?,
                 dst: cursor.addr()?,
                 lane_mask: LaneMask::from_bits(cursor.u8()?),
             },
-            Opcode::Movi => Instruction::Movi { dst: cursor.addr()?, imm: cursor.imm()? },
-            Opcode::Movg => {
-                Instruction::Movg { src: cursor.global_addr()?, dst: cursor.global_addr()? }
-            }
-            Opcode::Lut => Instruction::Lut { src: cursor.addr()?, dst: cursor.addr()? },
-            Opcode::ReduceSum => {
-                Instruction::ReduceSum { src: cursor.addr()?, dst: cursor.global_addr()? }
-            }
+            Opcode::Movi => Instruction::Movi {
+                dst: cursor.addr()?,
+                imm: cursor.imm()?,
+            },
+            Opcode::Movg => Instruction::Movg {
+                src: cursor.global_addr()?,
+                dst: cursor.global_addr()?,
+            },
+            Opcode::Lut => Instruction::Lut {
+                src: cursor.addr()?,
+                dst: cursor.addr()?,
+            },
+            Opcode::ReduceSum => Instruction::ReduceSum {
+                src: cursor.addr()?,
+                dst: cursor.global_addr()?,
+            },
         };
         Ok((inst, cursor.pos))
     }
@@ -196,7 +222,9 @@ impl Cursor<'_> {
 
     fn global_addr(&mut self) -> Result<GlobalAddr, IsaError> {
         let bytes = self.take(4)?;
-        Ok(GlobalAddr::from_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+        Ok(GlobalAddr::from_bytes([
+            bytes[0], bytes[1], bytes[2], bytes[3],
+        ]))
     }
 }
 
@@ -206,34 +234,65 @@ mod tests {
 
     fn all_variants() -> Vec<Instruction> {
         vec![
-            Instruction::Add { mask: RowMask::from_rows([0, 64, 127]), dst: Addr::reg(5) },
+            Instruction::Add {
+                mask: RowMask::from_rows([0, 64, 127]),
+                dst: Addr::reg(5),
+            },
             Instruction::Dot {
                 mask: RowMask::from_rows([1, 2, 3]),
                 reg_mask: RowMask::from_rows([0, 1, 2]),
                 dst: Addr::mem(100),
             },
-            Instruction::Mul { a: Addr::mem(10), b: Addr::reg(3), dst: Addr::mem(11) },
+            Instruction::Mul {
+                a: Addr::mem(10),
+                b: Addr::reg(3),
+                dst: Addr::mem(11),
+            },
             Instruction::Sub {
                 minuend: RowMask::from_rows([0]),
                 subtrahend: RowMask::from_rows([1]),
                 dst: Addr::mem(2),
             },
-            Instruction::ShiftL { src: Addr::mem(0), dst: Addr::mem(1), amount: 16 },
-            Instruction::ShiftR { src: Addr::reg(0), dst: Addr::reg(1), amount: 31 },
-            Instruction::Mask { src: Addr::mem(9), dst: Addr::mem(9), imm: 0xdead_beef },
-            Instruction::Mov { src: Addr::mem(5), dst: Addr::reg(6) },
+            Instruction::ShiftL {
+                src: Addr::mem(0),
+                dst: Addr::mem(1),
+                amount: 16,
+            },
+            Instruction::ShiftR {
+                src: Addr::reg(0),
+                dst: Addr::reg(1),
+                amount: 31,
+            },
+            Instruction::Mask {
+                src: Addr::mem(9),
+                dst: Addr::mem(9),
+                imm: 0xdead_beef,
+            },
+            Instruction::Mov {
+                src: Addr::mem(5),
+                dst: Addr::reg(6),
+            },
             Instruction::Movs {
                 src: Addr::mem(1),
                 dst: Addr::mem(2),
                 lane_mask: LaneMask::from_bits(0b1010_0101),
             },
-            Instruction::Movi { dst: Addr::mem(3), imm: Imm::broadcast(-7) },
+            Instruction::Movi {
+                dst: Addr::mem(3),
+                imm: Imm::broadcast(-7),
+            },
             Instruction::Movg {
                 src: GlobalAddr::new(4095, 63, 127),
                 dst: GlobalAddr::new(0, 0, 0),
             },
-            Instruction::Lut { src: Addr::mem(4), dst: Addr::mem(5) },
-            Instruction::ReduceSum { src: Addr::mem(7), dst: GlobalAddr::new(17, 3, 99) },
+            Instruction::Lut {
+                src: Addr::mem(4),
+                dst: Addr::mem(5),
+            },
+            Instruction::ReduceSum {
+                src: Addr::mem(7),
+                dst: GlobalAddr::new(17, 3, 99),
+            },
         ]
     }
 
@@ -241,7 +300,10 @@ mod tests {
     fn roundtrip_all_variants() {
         for inst in all_variants() {
             let bytes = inst.encode();
-            assert!(bytes.len() <= Instruction::MAX_ENCODED_LEN, "{inst} too long");
+            assert!(
+                bytes.len() <= Instruction::MAX_ENCODED_LEN,
+                "{inst} too long"
+            );
             let (decoded, used) = Instruction::decode(&bytes).unwrap();
             assert_eq!(decoded, inst);
             assert_eq!(used, bytes.len());
@@ -277,7 +339,10 @@ mod tests {
 
     #[test]
     fn truncated_fails() {
-        let inst = Instruction::Add { mask: RowMask::from_rows([0]), dst: Addr::mem(1) };
+        let inst = Instruction::Add {
+            mask: RowMask::from_rows([0]),
+            dst: Addr::mem(1),
+        };
         let bytes = inst.encode();
         for cut in 0..bytes.len() {
             let result = Instruction::decode(&bytes[..cut]);
@@ -287,6 +352,9 @@ mod tests {
 
     #[test]
     fn unknown_opcode_fails() {
-        assert!(matches!(Instruction::decode(&[0x7f]), Err(IsaError::UnknownOpcode(0x7f))));
+        assert!(matches!(
+            Instruction::decode(&[0x7f]),
+            Err(IsaError::UnknownOpcode(0x7f))
+        ));
     }
 }

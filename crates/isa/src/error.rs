@@ -32,17 +32,32 @@ impl fmt::Display for IsaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IsaError::RowOutOfRange(row) => {
-                write!(f, "row index {row} exceeds array height {}", crate::ARRAY_ROWS)
+                write!(
+                    f,
+                    "row index {row} exceeds array height {}",
+                    crate::ARRAY_ROWS
+                )
             }
             IsaError::RegisterOutOfRange(reg) => {
-                write!(f, "register index {reg} exceeds register file size {}", crate::NUM_REGISTERS)
+                write!(
+                    f,
+                    "register index {reg} exceeds register file size {}",
+                    crate::NUM_REGISTERS
+                )
             }
             IsaError::TruncatedInstruction { available, needed } => {
-                write!(f, "truncated instruction: needed {needed} bytes, had {available}")
+                write!(
+                    f,
+                    "truncated instruction: needed {needed} bytes, had {available}"
+                )
             }
             IsaError::UnknownOpcode(byte) => write!(f, "unknown opcode byte {byte:#04x}"),
             IsaError::ShiftTooLarge(amount) => {
-                write!(f, "shift amount {amount} exceeds word width {}", crate::WORD_BITS)
+                write!(
+                    f,
+                    "shift amount {amount} exceeds word width {}",
+                    crate::WORD_BITS
+                )
             }
             IsaError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
         }

@@ -235,9 +235,15 @@ impl Instruction {
                 .chain(reg_mask.rows().map(Addr::reg))
                 .collect(),
             Instruction::Mul { a, b, .. } => vec![a, b],
-            Instruction::Sub { minuend, subtrahend, .. } => {
-                minuend.rows().chain(subtrahend.rows()).map(Addr::mem).collect()
-            }
+            Instruction::Sub {
+                minuend,
+                subtrahend,
+                ..
+            } => minuend
+                .rows()
+                .chain(subtrahend.rows())
+                .map(Addr::mem)
+                .collect(),
             Instruction::ShiftL { src, .. }
             | Instruction::ShiftR { src, .. }
             | Instruction::Mask { src, .. }
@@ -255,7 +261,11 @@ impl Instruction {
         match *self {
             Instruction::Add { mask, .. } => mask.count(),
             Instruction::Dot { mask, .. } => mask.count(),
-            Instruction::Sub { minuend, subtrahend, .. } => minuend.count() + subtrahend.count(),
+            Instruction::Sub {
+                minuend,
+                subtrahend,
+                ..
+            } => minuend.count() + subtrahend.count(),
             Instruction::Mul { .. } => 1,
             _ => 0,
         }
@@ -266,18 +276,30 @@ impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             Instruction::Add { mask, dst } => write!(f, "add {mask} {dst}"),
-            Instruction::Dot { mask, reg_mask, dst } => {
+            Instruction::Dot {
+                mask,
+                reg_mask,
+                dst,
+            } => {
                 write!(f, "dot {mask} {reg_mask} {dst}")
             }
             Instruction::Mul { a, b, dst } => write!(f, "mul {a} {b} {dst}"),
-            Instruction::Sub { minuend, subtrahend, dst } => {
+            Instruction::Sub {
+                minuend,
+                subtrahend,
+                dst,
+            } => {
                 write!(f, "sub {minuend} {subtrahend} {dst}")
             }
             Instruction::ShiftL { src, dst, amount } => write!(f, "shiftl {src} {dst} #{amount}"),
             Instruction::ShiftR { src, dst, amount } => write!(f, "shiftr {src} {dst} #{amount}"),
             Instruction::Mask { src, dst, imm } => write!(f, "mask {src} {dst} #{imm:#010x}"),
             Instruction::Mov { src, dst } => write!(f, "mov {src} {dst}"),
-            Instruction::Movs { src, dst, lane_mask } => write!(f, "movs {src} {dst} {lane_mask}"),
+            Instruction::Movs {
+                src,
+                dst,
+                lane_mask,
+            } => write!(f, "movs {src} {dst} {lane_mask}"),
             Instruction::Movi { dst, imm } => write!(f, "movi {dst} {imm}"),
             Instruction::Movg { src, dst } => write!(f, "movg {src} {dst}"),
             Instruction::Lut { src, dst } => write!(f, "lut {src} {dst}"),
@@ -292,30 +314,65 @@ mod tests {
 
     fn sample_instructions() -> Vec<Instruction> {
         vec![
-            Instruction::Add { mask: RowMask::from_rows([0, 1]), dst: Addr::mem(2) },
+            Instruction::Add {
+                mask: RowMask::from_rows([0, 1]),
+                dst: Addr::mem(2),
+            },
             Instruction::Dot {
                 mask: RowMask::from_rows([0, 1]),
                 reg_mask: RowMask::from_rows([0, 1]),
                 dst: Addr::mem(2),
             },
-            Instruction::Mul { a: Addr::mem(0), b: Addr::mem(1), dst: Addr::mem(2) },
+            Instruction::Mul {
+                a: Addr::mem(0),
+                b: Addr::mem(1),
+                dst: Addr::mem(2),
+            },
             Instruction::Sub {
                 minuend: RowMask::from_rows([0]),
                 subtrahend: RowMask::from_rows([1]),
                 dst: Addr::mem(2),
             },
-            Instruction::ShiftL { src: Addr::mem(0), dst: Addr::mem(1), amount: 4 },
-            Instruction::ShiftR { src: Addr::mem(0), dst: Addr::mem(1), amount: 4 },
-            Instruction::Mask { src: Addr::mem(0), dst: Addr::mem(1), imm: 0xffff },
-            Instruction::Mov { src: Addr::mem(0), dst: Addr::reg(1) },
-            Instruction::Movs { src: Addr::mem(0), dst: Addr::mem(1), lane_mask: LaneMask::ALL },
-            Instruction::Movi { dst: Addr::mem(0), imm: Imm::broadcast(42) },
+            Instruction::ShiftL {
+                src: Addr::mem(0),
+                dst: Addr::mem(1),
+                amount: 4,
+            },
+            Instruction::ShiftR {
+                src: Addr::mem(0),
+                dst: Addr::mem(1),
+                amount: 4,
+            },
+            Instruction::Mask {
+                src: Addr::mem(0),
+                dst: Addr::mem(1),
+                imm: 0xffff,
+            },
+            Instruction::Mov {
+                src: Addr::mem(0),
+                dst: Addr::reg(1),
+            },
+            Instruction::Movs {
+                src: Addr::mem(0),
+                dst: Addr::mem(1),
+                lane_mask: LaneMask::ALL,
+            },
+            Instruction::Movi {
+                dst: Addr::mem(0),
+                imm: Imm::broadcast(42),
+            },
             Instruction::Movg {
                 src: GlobalAddr::new(0, 0, 0),
                 dst: GlobalAddr::new(1, 2, 3),
             },
-            Instruction::Lut { src: Addr::mem(0), dst: Addr::mem(1) },
-            Instruction::ReduceSum { src: Addr::mem(0), dst: GlobalAddr::new(0, 0, 5) },
+            Instruction::Lut {
+                src: Addr::mem(0),
+                dst: Addr::mem(1),
+            },
+            Instruction::ReduceSum {
+                src: Addr::mem(0),
+                dst: GlobalAddr::new(0, 0, 5),
+            },
         ]
     }
 
@@ -338,7 +395,11 @@ mod tests {
             (Opcode::ReduceSum, Latency::Variable),
         ];
         for inst in sample_instructions() {
-            let want = expect.iter().find(|(op, _)| *op == inst.opcode()).unwrap().1;
+            let want = expect
+                .iter()
+                .find(|(op, _)| *op == inst.opcode())
+                .unwrap()
+                .1;
             assert_eq!(inst.latency(), want, "latency of {}", inst.opcode());
         }
     }
@@ -355,13 +416,18 @@ mod tests {
 
     #[test]
     fn dst_and_srcs() {
-        let add = Instruction::Add { mask: RowMask::from_rows([3, 7]), dst: Addr::mem(9) };
+        let add = Instruction::Add {
+            mask: RowMask::from_rows([3, 7]),
+            dst: Addr::mem(9),
+        };
         assert_eq!(add.local_dst(), Some(Addr::mem(9)));
         assert_eq!(add.local_srcs(), vec![Addr::mem(3), Addr::mem(7)]);
         assert_eq!(add.nary_operands(), 2);
 
-        let movg =
-            Instruction::Movg { src: GlobalAddr::new(0, 0, 0), dst: GlobalAddr::new(0, 0, 1) };
+        let movg = Instruction::Movg {
+            src: GlobalAddr::new(0, 0, 0),
+            dst: GlobalAddr::new(0, 0, 1),
+        };
         assert_eq!(movg.local_dst(), None);
         assert!(movg.local_srcs().is_empty());
     }

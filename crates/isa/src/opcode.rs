@@ -112,7 +112,10 @@ impl FromStr for Opcode {
             .iter()
             .copied()
             .find(|op| op.mnemonic() == s)
-            .ok_or_else(|| IsaError::Parse { line: 0, message: format!("unknown mnemonic `{s}`") })
+            .ok_or_else(|| IsaError::Parse {
+                line: 0,
+                message: format!("unknown mnemonic `{s}`"),
+            })
     }
 }
 

@@ -131,7 +131,11 @@ impl GlobalAddr {
         assert!(tile < 4096, "tile {tile} out of 12-bit range");
         assert!(array < 64, "array {array} out of 6-bit range");
         assert!(row < ARRAY_ROWS, "row {row} out of 7-bit range");
-        GlobalAddr { tile: tile as u16, array: array as u8, row: row as u8 }
+        GlobalAddr {
+            tile: tile as u16,
+            array: array as u8,
+            row: row as u8,
+        }
     }
 
     /// Packs into the 4-byte wire format.

@@ -3,8 +3,7 @@
 //! space.
 
 use imp_isa::{
-    assemble, disassemble, Addr, GlobalAddr, Imm, Instruction, InstructionBlock, LaneMask,
-    RowMask,
+    assemble, disassemble, Addr, GlobalAddr, Imm, Instruction, InstructionBlock, LaneMask, RowMask,
 };
 use proptest::prelude::*;
 
@@ -24,41 +23,55 @@ fn arb_row_mask() -> impl Strategy<Value = RowMask> {
 }
 
 fn arb_gaddr() -> impl Strategy<Value = GlobalAddr> {
-    (0usize..4096, 0usize..64, 0usize..128)
-        .prop_map(|(t, a, r)| GlobalAddr::new(t, a, r))
+    (0usize..4096, 0usize..64, 0usize..128).prop_map(|(t, a, r)| GlobalAddr::new(t, a, r))
 }
 
 fn arb_instruction() -> impl Strategy<Value = Instruction> {
     prop_oneof![
         (arb_row_mask(), arb_addr()).prop_map(|(mask, dst)| Instruction::Add { mask, dst }),
-        (arb_row_mask(), arb_row_mask(), arb_addr())
-            .prop_map(|(mask, reg_mask, dst)| Instruction::Dot { mask, reg_mask, dst }),
-        (arb_addr(), arb_addr(), arb_addr())
-            .prop_map(|(a, b, dst)| Instruction::Mul { a, b, dst }),
-        (arb_row_mask(), arb_row_mask(), arb_addr())
-            .prop_map(|(minuend, subtrahend, dst)| Instruction::Sub {
+        (arb_row_mask(), arb_row_mask(), arb_addr()).prop_map(|(mask, reg_mask, dst)| {
+            Instruction::Dot {
+                mask,
+                reg_mask,
+                dst,
+            }
+        }),
+        (arb_addr(), arb_addr(), arb_addr()).prop_map(|(a, b, dst)| Instruction::Mul { a, b, dst }),
+        (arb_row_mask(), arb_row_mask(), arb_addr()).prop_map(|(minuend, subtrahend, dst)| {
+            Instruction::Sub {
                 minuend,
                 subtrahend,
-                dst
-            }),
-        (arb_addr(), arb_addr(), 0u8..32)
-            .prop_map(|(src, dst, amount)| Instruction::ShiftL { src, dst, amount }),
-        (arb_addr(), arb_addr(), 0u8..32)
-            .prop_map(|(src, dst, amount)| Instruction::ShiftR { src, dst, amount }),
-        (arb_addr(), arb_addr(), any::<u32>())
-            .prop_map(|(src, dst, imm)| Instruction::Mask { src, dst, imm }),
+                dst,
+            }
+        }),
+        (arb_addr(), arb_addr(), 0u8..32).prop_map(|(src, dst, amount)| Instruction::ShiftL {
+            src,
+            dst,
+            amount
+        }),
+        (arb_addr(), arb_addr(), 0u8..32).prop_map(|(src, dst, amount)| Instruction::ShiftR {
+            src,
+            dst,
+            amount
+        }),
+        (arb_addr(), arb_addr(), any::<u32>()).prop_map(|(src, dst, imm)| Instruction::Mask {
+            src,
+            dst,
+            imm
+        }),
         (arb_addr(), arb_addr()).prop_map(|(src, dst)| Instruction::Mov { src, dst }),
         (arb_addr(), arb_addr(), any::<u8>()).prop_map(|(src, dst, bits)| Instruction::Movs {
             src,
             dst,
             lane_mask: LaneMask::from_bits(bits)
         }),
-        (arb_addr(), any::<i32>())
-            .prop_map(|(dst, v)| Instruction::Movi { dst, imm: Imm::broadcast(v) }),
+        (arb_addr(), any::<i32>()).prop_map(|(dst, v)| Instruction::Movi {
+            dst,
+            imm: Imm::broadcast(v)
+        }),
         (arb_gaddr(), arb_gaddr()).prop_map(|(src, dst)| Instruction::Movg { src, dst }),
         (arb_addr(), arb_addr()).prop_map(|(src, dst)| Instruction::Lut { src, dst }),
-        (arb_mem_addr(), arb_gaddr())
-            .prop_map(|(src, dst)| Instruction::ReduceSum { src, dst }),
+        (arb_mem_addr(), arb_gaddr()).prop_map(|(src, dst)| Instruction::ReduceSum { src, dst }),
     ]
 }
 

@@ -18,7 +18,12 @@ pub struct NocConfig {
 
 impl Default for NocConfig {
     fn default() -> Self {
-        NocConfig { flit_bytes: 16, router_latency: 2, link_latency: 1, reduce_add_latency: 1 }
+        NocConfig {
+            flit_bytes: 16,
+            router_latency: 2,
+            link_latency: 1,
+            reduce_add_latency: 1,
+        }
     }
 }
 
@@ -56,7 +61,12 @@ pub struct Network {
 impl Network {
     /// Creates an idle network.
     pub fn new(topology: HTreeTopology, config: NocConfig) -> Self {
-        Network { topology, config, link_free: HashMap::new(), stats: NocStats::default() }
+        Network {
+            topology,
+            config,
+            link_free: HashMap::new(),
+            stats: NocStats::default(),
+        }
     }
 
     /// The topology.
@@ -129,10 +139,9 @@ impl Network {
         }
         let flits = self.flits(bytes);
         let links = self.topology.reduction_links(tiles);
-        let top_level = tiles
-            .iter()
-            .skip(1)
-            .fold(0u8, |acc, &t| acc.max(self.topology.common_ancestor_level(tiles[0], t)));
+        let top_level = tiles.iter().skip(1).fold(0u8, |acc, &t| {
+            acc.max(self.topology.common_ancestor_level(tiles[0], t))
+        });
         // Per-level depth of the reduction tree: each level adds a router
         // hop plus the reduction add.
         let per_hop =
@@ -158,8 +167,11 @@ impl Network {
         let down = if root_ancestor == dst_ancestor {
             let mut t = busiest;
             for level in (0..top_level).rev() {
-                let link =
-                    LinkId { level, node: self.topology.ancestor(dst_tile, level), up: false };
+                let link = LinkId {
+                    level,
+                    node: self.topology.ancestor(dst_tile, level),
+                    up: false,
+                };
                 let free = self.link_free.get(&link).copied().unwrap_or(0);
                 let start = t.max(free);
                 let done = start + self.config.router_latency + self.config.link_latency + flits;

@@ -36,7 +36,13 @@ impl LinkId {
 
 impl fmt::Display for LinkId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "L{}#{}{}", self.level, self.node, if self.up { "↑" } else { "↓" })
+        write!(
+            f,
+            "L{}#{}{}",
+            self.level,
+            self.node,
+            if self.up { "↑" } else { "↓" }
+        )
     }
 }
 
@@ -67,7 +73,11 @@ impl HTreeTopology {
             level_size /= radix;
             levels += 1;
         }
-        HTreeTopology { tiles, radix, levels }
+        HTreeTopology {
+            tiles,
+            radix,
+            levels,
+        }
     }
 
     /// The paper's chip: 4,096 tiles, radix 8.
@@ -142,11 +152,19 @@ impl HTreeTopology {
         let mut links = Vec::with_capacity(2 * usize::from(meet));
         // Ascend from a.
         for level in 0..meet {
-            links.push(LinkId { level, node: self.ancestor(a, level), up: true });
+            links.push(LinkId {
+                level,
+                node: self.ancestor(a, level),
+                up: true,
+            });
         }
         // Descend to b (top-down).
         for level in (0..meet).rev() {
-            links.push(LinkId { level, node: self.ancestor(b, level), up: false });
+            links.push(LinkId {
+                level,
+                node: self.ancestor(b, level),
+                up: false,
+            });
         }
         links
     }
@@ -158,14 +176,17 @@ impl HTreeTopology {
         if tiles.is_empty() {
             return Vec::new();
         }
-        let top = tiles
-            .iter()
-            .skip(1)
-            .fold(0u8, |acc, &t| acc.max(self.common_ancestor_level(tiles[0], t)));
+        let top = tiles.iter().skip(1).fold(0u8, |acc, &t| {
+            acc.max(self.common_ancestor_level(tiles[0], t))
+        });
         let mut links: Vec<LinkId> = Vec::new();
         for &tile in tiles {
             for level in 0..top {
-                let link = LinkId { level, node: self.ancestor(tile, level), up: true };
+                let link = LinkId {
+                    level,
+                    node: self.ancestor(tile, level),
+                    up: true,
+                };
                 if !links.contains(&link) {
                     links.push(link);
                 }
@@ -208,8 +229,22 @@ mod tests {
         assert!(topo.route(5, 5).is_empty());
         let route = topo.route(0, 7);
         assert_eq!(route.len(), 2);
-        assert_eq!(route[0], LinkId { level: 0, node: 0, up: true });
-        assert_eq!(route[1], LinkId { level: 0, node: 7, up: false });
+        assert_eq!(
+            route[0],
+            LinkId {
+                level: 0,
+                node: 0,
+                up: true
+            }
+        );
+        assert_eq!(
+            route[1],
+            LinkId {
+                level: 0,
+                node: 7,
+                up: false
+            }
+        );
         let route = topo.route(0, 63);
         assert_eq!(route.len(), 4);
         assert!(route[0].up && route[1].up);

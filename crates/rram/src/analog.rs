@@ -51,7 +51,10 @@ impl AnalogSpec {
 
     /// Prototype configuration with integer (Q0) arithmetic.
     pub fn integer() -> Self {
-        AnalogSpec { frac_bits: 0, ..Self::prototype() }
+        AnalogSpec {
+            frac_bits: 0,
+            ..Self::prototype()
+        }
     }
 
     /// Largest value one cell can store.
@@ -99,7 +102,10 @@ impl AnalogSpec {
         let limit = self.adc_max();
         if partial > limit || partial < -limit {
             if self.strict_adc {
-                return Err(RramError::AdcOverrange { partial_sum: partial, limit });
+                return Err(RramError::AdcOverrange {
+                    partial_sum: partial,
+                    limit,
+                });
             }
             return Ok(partial.clamp(-limit, limit));
         }
@@ -171,12 +177,18 @@ mod tests {
         let spec = AnalogSpec::prototype();
         assert_eq!(spec.convert(31).unwrap(), 31);
         assert_eq!(spec.convert(-31).unwrap(), -31);
-        assert!(matches!(spec.convert(32), Err(RramError::AdcOverrange { .. })));
+        assert!(matches!(
+            spec.convert(32),
+            Err(RramError::AdcOverrange { .. })
+        ));
     }
 
     #[test]
     fn clipping_conversion() {
-        let spec = AnalogSpec { strict_adc: false, ..AnalogSpec::prototype() };
+        let spec = AnalogSpec {
+            strict_adc: false,
+            ..AnalogSpec::prototype()
+        };
         assert_eq!(spec.convert(100).unwrap(), 31);
         assert_eq!(spec.convert(-100).unwrap(), -31);
     }

@@ -4,6 +4,7 @@
 use crate::analog::{AnalogSpec, OpTrace};
 use crate::crossbar::Crossbar;
 use crate::digits::{self, DIGITS_PER_WORD};
+use crate::fault::FaultMap;
 use crate::lut::Lut;
 use crate::regfile::RegisterFile;
 use crate::RramError;
@@ -34,6 +35,18 @@ pub struct ReramArray {
     /// Seeded source of process-variation noise (only consulted when
     /// `spec.noise_prob > 0`).
     fault_rng: StdRng,
+    /// Permanent ADC conversion offset, in LSBs, from an installed fault
+    /// map (0 = calibrated converter).
+    adc_offset: i64,
+    /// Per-conversion transient ADC glitch probability from an installed
+    /// fault map.
+    transient_prob: f64,
+    /// Transient-glitch stream (re-armed per recovery attempt so a retry
+    /// draws fresh transients).
+    transient_rng: StdRng,
+    /// Sticky detection flag: the duplicated conversion on the checksum
+    /// column disagreed at least once since the last (re)arm.
+    adc_fault_seen: bool,
 }
 
 impl ReramArray {
@@ -46,6 +59,10 @@ impl ReramArray {
             spec,
             dynamic_mask: 0,
             fault_rng: StdRng::seed_from_u64(0),
+            adc_offset: 0,
+            transient_prob: 0.0,
+            transient_rng: StdRng::seed_from_u64(0),
+            adc_fault_seen: false,
         }
     }
 
@@ -53,6 +70,35 @@ impl ReramArray {
     /// injection across arrays).
     pub fn set_fault_seed(&mut self, seed: u64) {
         self.fault_rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Installs a fault population on this array: cell/line faults go to
+    /// the crossbar, ADC faults to the conversion periphery. Clears the
+    /// sticky ADC-fault flag.
+    pub fn install_faults(&mut self, map: &FaultMap) {
+        self.adc_offset = map.adc_offset();
+        self.transient_prob = map.transient_adc();
+        self.transient_rng = StdRng::seed_from_u64(map.seed() ^ 0xADC0_FA17_ADC0_FA17);
+        self.adc_fault_seen = false;
+        self.crossbar.install_faults(map.clone());
+    }
+
+    /// Re-arms the transient-glitch stream for recovery attempt
+    /// `attempt`: permanent faults persist across retries, transients are
+    /// drawn fresh. Also clears the sticky detection flag.
+    pub fn rearm_transients(&mut self, attempt: u64) {
+        let base = self.crossbar.fault_map().map(|m| m.seed()).unwrap_or(0);
+        self.transient_rng = StdRng::seed_from_u64(
+            base ^ 0xADC0_FA17_ADC0_FA17 ^ attempt.wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
+        self.adc_fault_seen = false;
+    }
+
+    /// Whether the periphery latched an ADC fault (a conversion whose
+    /// duplicate on the checksum column disagreed) since the last
+    /// (re)arm.
+    pub fn adc_fault_detected(&self) -> bool {
+        self.adc_fault_seen
     }
 
     /// One ADC conversion's variation error: ±1 LSB with probability
@@ -70,6 +116,25 @@ impl ReramArray {
         } else {
             0
         }
+    }
+
+    /// One ADC conversion's *fault* error: the permanent offset plus a
+    /// possible transient glitch. Any nonzero error latches the sticky
+    /// detection flag (the duplicated checksum-column conversion
+    /// disagrees). Zero-cost when no ADC faults are installed.
+    fn adc_fault_err(&mut self) -> i64 {
+        let mut err = self.adc_offset;
+        if self.transient_prob > 0.0 && self.transient_rng.gen::<f64>() < self.transient_prob {
+            err += if self.transient_rng.gen::<bool>() {
+                1
+            } else {
+                -1
+            };
+        }
+        if err != 0 {
+            self.adc_fault_seen = true;
+        }
+        err
     }
 
     /// The analog configuration.
@@ -179,20 +244,31 @@ impl ReramArray {
                 return Err(RramError::NotArrayLocal(inst.opcode().mnemonic()));
             }
         };
-        let mut trace = OpTrace { cycles, ..OpTrace::default() };
+        let mut trace = OpTrace {
+            cycles,
+            ..OpTrace::default()
+        };
         match *inst {
             Instruction::Add { mask, dst } => {
                 let rows: Vec<usize> = mask.rows().collect();
                 let value = self.in_situ_add(&rows, &[], &mut trace)?;
                 self.finish_write(dst, value, &mut trace);
             }
-            Instruction::Sub { minuend, subtrahend, dst } => {
+            Instruction::Sub {
+                minuend,
+                subtrahend,
+                dst,
+            } => {
                 let plus: Vec<usize> = minuend.rows().collect();
                 let minus: Vec<usize> = subtrahend.rows().collect();
                 let value = self.in_situ_add(&plus, &minus, &mut trace)?;
                 self.finish_write(dst, value, &mut trace);
             }
-            Instruction::Dot { mask, reg_mask, dst } => {
+            Instruction::Dot {
+                mask,
+                reg_mask,
+                dst,
+            } => {
                 let rows: Vec<usize> = mask.rows().collect();
                 let regs: Vec<usize> = reg_mask.rows().collect();
                 let value = self.in_situ_dot(&rows, &regs, &mut trace)?;
@@ -222,11 +298,19 @@ impl ReramArray {
                 let value = self.read_for_periphery(src, &mut trace);
                 self.finish_write(dst, value, &mut trace);
             }
-            Instruction::Movs { src, dst, lane_mask } => {
+            Instruction::Movs {
+                src,
+                dst,
+                lane_mask,
+            } => {
                 let value = self.read_for_periphery(src, &mut trace);
                 // An all-zero static mask is the dynamic-predication
                 // encoding: use the latched condition mask.
-                let bits = if lane_mask.bits() == 0 { self.dynamic_mask } else { lane_mask.bits() };
+                let bits = if lane_mask.bits() == 0 {
+                    self.dynamic_mask
+                } else {
+                    lane_mask.bits()
+                };
                 match dst {
                     Addr::Mem(row) => {
                         self.crossbar.write_row_masked(row as usize, &value, bits);
@@ -286,6 +370,12 @@ impl ReramArray {
                     sum -= i64::from(self.crossbar.digit(row, col));
                 }
                 sum += self.adc_noise();
+                let fault = self.adc_fault_err();
+                if fault != 0 {
+                    // A faulty converter still emits an in-range code.
+                    let limit = self.spec.adc_max();
+                    sum = (sum + fault).clamp(-limit, limit);
+                }
                 max_abs_partial = max_abs_partial.max(sum.abs());
                 *partial = self.spec.convert(sum)?;
             }
@@ -329,18 +419,25 @@ impl ReramArray {
             for digit_pos in 0..DIGITS_PER_WORD {
                 let col = lane * DIGITS_PER_WORD + digit_pos;
                 for chunk in 0..DIGITS_PER_WORD {
-                    let mut partial: i64 = 0;
+                    let mut base: i64 = 0;
                     for pair in 0..pairs {
                         let cell = i64::from(self.crossbar.digit(rows[pair], col));
                         let m = self.regfile.read_lane(regs[pair], 0);
                         let m_chunk = i64::from((m as u32 >> (2 * chunk)) & 0b11);
-                        partial += cell * m_chunk;
+                        base += cell * m_chunk;
                     }
-                    let noise = self.adc_noise();
-                    partial += noise;
+                    let mut err = self.adc_noise();
+                    let fault = self.adc_fault_err();
+                    if fault != 0 {
+                        // A faulty converter still emits an in-range code;
+                        // the effective error is whatever survives clamping.
+                        let limit = self.spec.adc_max();
+                        err = (base + err + fault).clamp(-limit, limit) - base;
+                    }
+                    let partial = base + err;
                     let weight_shift = 2 * (digit_pos + chunk);
-                    if noise != 0 && weight_shift < 62 {
-                        noise_acc = noise_acc.wrapping_add(noise << weight_shift);
+                    if err != 0 && weight_shift < 62 {
+                        noise_acc = noise_acc.wrapping_add(err << weight_shift);
                     }
                     max_partial = max_partial.max(partial);
                     self.spec.convert(partial)?;
@@ -390,14 +487,19 @@ impl ReramArray {
             let mut noise_acc: i64 = 0;
             for (i, &da) in a_digits.iter().enumerate() {
                 for (j, &db) in b_digits.iter().enumerate() {
-                    let partial = i64::from(da) * i64::from(db) + self.adc_noise();
-                    if self.spec.noise_prob > 0.0 {
-                        let base = i64::from(da) * i64::from(db);
-                        let noise = partial - base;
-                        let weight_shift = 2 * (i + j);
-                        if noise != 0 && weight_shift < 62 {
-                            noise_acc = noise_acc.wrapping_add(noise << weight_shift);
-                        }
+                    let base = i64::from(da) * i64::from(db);
+                    let mut err = self.adc_noise();
+                    let fault = self.adc_fault_err();
+                    if fault != 0 {
+                        // Faulty converters emit in-range codes; keep the
+                        // effective error consistent with the clamp.
+                        let limit = self.spec.adc_max();
+                        err = (base + err + fault).clamp(-limit, limit) - base;
+                    }
+                    let partial = base + err;
+                    let weight_shift = 2 * (i + j);
+                    if err != 0 && weight_shift < 62 {
+                        noise_acc = noise_acc.wrapping_add(err << weight_shift);
                     }
                     max_partial = max_partial.max(partial);
                     self.spec.convert(partial)?;
@@ -473,8 +575,11 @@ mod tests {
         let mut a = array();
         a.write_row_broadcast(0, -5);
         a.write_row_broadcast(1, 3);
-        a.execute_local(&Instruction::Add { mask: RowMask::from_rows([0, 1]), dst: Addr::mem(2) })
-            .unwrap();
+        a.execute_local(&Instruction::Add {
+            mask: RowMask::from_rows([0, 1]),
+            dst: Addr::mem(2),
+        })
+        .unwrap();
         assert_eq!(a.read_word(2, 0), -2);
     }
 
@@ -484,8 +589,11 @@ mod tests {
         for row in 0..10 {
             a.write_row_broadcast(row, (row + 1) as i32);
         }
-        a.execute_local(&Instruction::Add { mask: (0..10).collect(), dst: Addr::mem(20) })
-            .unwrap();
+        a.execute_local(&Instruction::Add {
+            mask: (0..10).collect(),
+            dst: Addr::mem(20),
+        })
+        .unwrap();
         assert_eq!(a.read_word(20, 0), 55);
     }
 
@@ -524,7 +632,11 @@ mod tests {
         a.write_row(0, &[2, -3, 4, -5, 6, 0, 1, -1]);
         a.write_row(1, &[3, 3, -3, -3, 0, 9, 1, 1]);
         let trace = a
-            .execute_local(&Instruction::Mul { a: Addr::mem(0), b: Addr::mem(1), dst: Addr::mem(2) })
+            .execute_local(&Instruction::Mul {
+                a: Addr::mem(0),
+                b: Addr::mem(1),
+                dst: Addr::mem(2),
+            })
             .unwrap();
         assert_eq!(a.read_row(2), [6, -9, -12, 15, 0, 0, 1, -1]);
         assert_eq!(trace.cycles, 18);
@@ -537,8 +649,12 @@ mod tests {
         let three = 3 << 16;
         a.write_row_broadcast(0, three);
         a.write_row_broadcast(1, half);
-        a.execute_local(&Instruction::Mul { a: Addr::mem(0), b: Addr::mem(1), dst: Addr::mem(2) })
-            .unwrap();
+        a.execute_local(&Instruction::Mul {
+            a: Addr::mem(0),
+            b: Addr::mem(1),
+            dst: Addr::mem(2),
+        })
+        .unwrap();
         assert_eq!(a.read_word(2, 0), 3 << 15); // 1.5
     }
 
@@ -549,8 +665,12 @@ mod tests {
         let q_1_5 = 3 << 15;
         a.write_row_broadcast(0, minus_two);
         a.write_row_broadcast(1, q_1_5);
-        a.execute_local(&Instruction::Mul { a: Addr::mem(0), b: Addr::mem(1), dst: Addr::mem(2) })
-            .unwrap();
+        a.execute_local(&Instruction::Mul {
+            a: Addr::mem(0),
+            b: Addr::mem(1),
+            dst: Addr::mem(2),
+        })
+        .unwrap();
         assert_eq!(a.read_word(2, 0), -(3 << 16)); // -3.0
     }
 
@@ -618,14 +738,26 @@ mod tests {
     fn shift_and_mask() {
         let mut a = array();
         a.write_row_broadcast(0, 0b1011);
-        a.execute_local(&Instruction::ShiftL { src: Addr::mem(0), dst: Addr::mem(1), amount: 4 })
-            .unwrap();
+        a.execute_local(&Instruction::ShiftL {
+            src: Addr::mem(0),
+            dst: Addr::mem(1),
+            amount: 4,
+        })
+        .unwrap();
         assert_eq!(a.read_word(1, 0), 0b1011_0000);
-        a.execute_local(&Instruction::ShiftR { src: Addr::mem(1), dst: Addr::mem(2), amount: 2 })
-            .unwrap();
+        a.execute_local(&Instruction::ShiftR {
+            src: Addr::mem(1),
+            dst: Addr::mem(2),
+            amount: 2,
+        })
+        .unwrap();
         assert_eq!(a.read_word(2, 0), 0b10_1100);
-        a.execute_local(&Instruction::Mask { src: Addr::mem(2), dst: Addr::mem(3), imm: 0b1111 })
-            .unwrap();
+        a.execute_local(&Instruction::Mask {
+            src: Addr::mem(2),
+            dst: Addr::mem(3),
+            imm: 0b1111,
+        })
+        .unwrap();
         assert_eq!(a.read_word(3, 0), 0b1100);
     }
 
@@ -633,8 +765,12 @@ mod tests {
     fn arithmetic_right_shift_preserves_sign() {
         let mut a = array();
         a.write_row_broadcast(0, -16);
-        a.execute_local(&Instruction::ShiftR { src: Addr::mem(0), dst: Addr::mem(1), amount: 2 })
-            .unwrap();
+        a.execute_local(&Instruction::ShiftR {
+            src: Addr::mem(0),
+            dst: Addr::mem(1),
+            amount: 2,
+        })
+        .unwrap();
         assert_eq!(a.read_word(1, 0), -4);
     }
 
@@ -642,9 +778,17 @@ mod tests {
     fn mov_between_spaces() {
         let mut a = array();
         a.write_row_broadcast(0, 42);
-        a.execute_local(&Instruction::Mov { src: Addr::mem(0), dst: Addr::reg(3) }).unwrap();
+        a.execute_local(&Instruction::Mov {
+            src: Addr::mem(0),
+            dst: Addr::reg(3),
+        })
+        .unwrap();
         assert_eq!(a.read_reg(3), [42; LANES]);
-        a.execute_local(&Instruction::Mov { src: Addr::reg(3), dst: Addr::mem(7) }).unwrap();
+        a.execute_local(&Instruction::Mov {
+            src: Addr::reg(3),
+            dst: Addr::mem(7),
+        })
+        .unwrap();
         assert_eq!(a.read_word(7, 0), 42);
     }
 
@@ -666,7 +810,10 @@ mod tests {
     fn movi_broadcasts() {
         let mut a = array();
         let trace = a
-            .execute_local(&Instruction::Movi { dst: Addr::mem(0), imm: Imm::broadcast(-9) })
+            .execute_local(&Instruction::Movi {
+                dst: Addr::mem(0),
+                imm: Imm::broadcast(-9),
+            })
             .unwrap();
         assert_eq!(a.read_row(0), [-9; LANES]);
         assert_eq!(trace.cycles, 1);
@@ -677,8 +824,12 @@ mod tests {
         let mut a = array();
         a.set_lut(Lut::from_fn(LutKind::Custom, |i| (i * 2 % 256) as u8));
         a.write_row(0, &[0, 1, 2, 100, 255, 256, 511, 512]);
-        let trace =
-            a.execute_local(&Instruction::Lut { src: Addr::mem(0), dst: Addr::mem(1) }).unwrap();
+        let trace = a
+            .execute_local(&Instruction::Lut {
+                src: Addr::mem(0),
+                dst: Addr::mem(1),
+            })
+            .unwrap();
         assert_eq!(a.read_row(1), [0, 2, 4, 200, 254, 0, 254, 0]);
         assert_eq!(trace.cycles, 4);
         assert_eq!(trace.lut_reads, 8);
@@ -686,7 +837,10 @@ mod tests {
 
     #[test]
     fn noise_injection_perturbs_results() {
-        let noisy_spec = AnalogSpec { noise_prob: 0.2, ..AnalogSpec::integer() };
+        let noisy_spec = AnalogSpec {
+            noise_prob: 0.2,
+            ..AnalogSpec::integer()
+        };
         let mut clean = array();
         let mut noisy = ReramArray::new(noisy_spec);
         noisy.set_fault_seed(7);
@@ -694,7 +848,10 @@ mod tests {
             a.write_row_broadcast(0, 1000);
             a.write_row_broadcast(1, 2345);
         }
-        let add = Instruction::Add { mask: RowMask::from_rows([0, 1]), dst: Addr::mem(2) };
+        let add = Instruction::Add {
+            mask: RowMask::from_rows([0, 1]),
+            dst: Addr::mem(2),
+        };
         clean.execute_local(&add).unwrap();
         noisy.execute_local(&add).unwrap();
         assert_eq!(clean.read_word(2, 0), 3345);
@@ -716,9 +873,109 @@ mod tests {
         let mut a = array();
         a.write_row_broadcast(0, 123);
         a.write_row_broadcast(1, 456);
-        a.execute_local(&Instruction::Mul { a: Addr::mem(0), b: Addr::mem(1), dst: Addr::mem(2) })
-            .unwrap();
+        a.execute_local(&Instruction::Mul {
+            a: Addr::mem(0),
+            b: Addr::mem(1),
+            dst: Addr::mem(2),
+        })
+        .unwrap();
         assert_eq!(a.read_word(2, 0), 123 * 456);
+    }
+
+    #[test]
+    fn adc_offset_fault_biases_and_latches_detection() {
+        use crate::fault::{FaultMap, FaultRates};
+        let mut a = array();
+        // adc_offset rate 1.0 guarantees the permanent offset fires.
+        let map = FaultMap::generate(
+            3,
+            &FaultRates {
+                adc_offset: 1.0,
+                ..FaultRates::none()
+            },
+        );
+        assert_ne!(map.adc_offset(), 0);
+        a.install_faults(&map);
+        assert!(!a.adc_fault_detected());
+        a.write_row_broadcast(0, 100);
+        a.write_row_broadcast(1, 200);
+        a.execute_local(&Instruction::Add {
+            mask: RowMask::from_rows([0, 1]),
+            dst: Addr::mem(2),
+        })
+        .unwrap();
+        assert_ne!(
+            a.read_word(2, 0),
+            300,
+            "a permanent offset must corrupt the sum"
+        );
+        assert!(
+            a.adc_fault_detected(),
+            "the checksum-column duplicate must disagree"
+        );
+    }
+
+    #[test]
+    fn transient_glitches_rearm_per_attempt() {
+        use crate::fault::{FaultMap, FaultRates};
+        let map = FaultMap::generate(
+            5,
+            &FaultRates {
+                transient_adc: 0.3,
+                ..FaultRates::none()
+            },
+        );
+        let run = |attempt: u64| {
+            let mut a = array();
+            a.install_faults(&map);
+            a.rearm_transients(attempt);
+            a.write_row_broadcast(0, 1000);
+            a.write_row_broadcast(1, 2345);
+            a.execute_local(&Instruction::Add {
+                mask: RowMask::from_rows([0, 1]),
+                dst: Addr::mem(2),
+            })
+            .unwrap();
+            (a.read_row(2), a.adc_fault_detected())
+        };
+        // Same attempt → same glitches; the stream is deterministic.
+        assert_eq!(run(1), run(1));
+        // At 30% per conversion over 128 conversions, every attempt sees
+        // glitches, and distinct attempts draw distinct error patterns.
+        let (row1, seen1) = run(1);
+        let (row2, seen2) = run(2);
+        assert!(seen1 && seen2);
+        assert_ne!(
+            row1, row2,
+            "re-armed transients must differ across attempts"
+        );
+    }
+
+    #[test]
+    fn stuck_source_row_corrupts_in_situ_math() {
+        use crate::fault::{FaultMap, FaultRates};
+        let mut a = array();
+        a.install_faults(&FaultMap::generate(
+            2,
+            &FaultRates {
+                stuck_at_max: 0.05,
+                ..FaultRates::none()
+            },
+        ));
+        a.write_row_broadcast(0, 0);
+        a.write_row_broadcast(1, 0);
+        a.execute_local(&Instruction::Add {
+            mask: RowMask::from_rows([0, 1]),
+            dst: Addr::mem(2),
+        })
+        .unwrap();
+        // 5% stuck-at-max over 256 source digits: some lane must deviate.
+        let deviated = (0..LANES).any(|l| a.read_word(2, l) != 0);
+        assert!(deviated, "stuck source cells must corrupt the in-situ sum");
+        assert!(
+            !a.crossbar().integrity_scan().is_empty(),
+            "the residue scan must flag the stuck source rows"
+        );
     }
 
     #[test]
@@ -728,7 +985,10 @@ mod tests {
             src: imp_isa::GlobalAddr::new(0, 0, 0),
             dst: imp_isa::GlobalAddr::new(0, 0, 1),
         };
-        assert!(matches!(a.execute_local(&movg), Err(RramError::NotArrayLocal(_))));
+        assert!(matches!(
+            a.execute_local(&movg),
+            Err(RramError::NotArrayLocal(_))
+        ));
     }
 
     #[test]
@@ -737,13 +997,19 @@ mod tests {
         a.write_row_broadcast(0, 1);
         a.write_row_broadcast(1, 1);
         let t2 = a
-            .execute_local(&Instruction::Add { mask: RowMask::from_rows([0, 1]), dst: Addr::mem(9) })
+            .execute_local(&Instruction::Add {
+                mask: RowMask::from_rows([0, 1]),
+                dst: Addr::mem(9),
+            })
             .unwrap();
         for row in 2..8 {
             a.write_row_broadcast(row, 1);
         }
         let t8 = a
-            .execute_local(&Instruction::Add { mask: (0..8).collect(), dst: Addr::mem(9) })
+            .execute_local(&Instruction::Add {
+                mask: (0..8).collect(),
+                dst: Addr::mem(9),
+            })
             .unwrap();
         assert!(t8.adc_bits_used > t2.adc_bits_used);
     }

@@ -1,6 +1,7 @@
 //! The 128×128 crossbar of 2-bit resistive cells.
 
 use crate::digits::{self, DIGITS_PER_WORD};
+use crate::fault::FaultMap;
 use imp_isa::{ARRAY_COLS, ARRAY_ROWS, LANES};
 
 /// One ReRAM crossbar: 128 word-lines × 128 bit-lines of 2-bit cells.
@@ -10,26 +11,57 @@ use imp_isa::{ARRAY_COLS, ARRAY_ROWS, LANES};
 /// digit on the lowest-numbered bit-line.
 ///
 /// The crossbar tracks per-row write counts for the §7.5 lifetime study.
+///
+/// A [`FaultMap`] may be installed to model broken cells and lines: writes
+/// then record the *intended* digits (a stuck cell physically ignores
+/// programming pulses), reads return what the faulty bit-lines actually
+/// sense, and [`Crossbar::integrity_scan`] performs the spare-checksum-row
+/// residue check described in [`crate::fault`]. Without a fault map every
+/// path is byte-for-byte the pre-fault behaviour.
 #[derive(Debug, Clone)]
 pub struct Crossbar {
-    /// `cells[row][col]` is a 2-bit digit (0..4).
+    /// `cells[row][col]` is the *programmed* 2-bit digit (0..4). With a
+    /// fault map installed this is the intent; reads apply the faults.
     cells: Vec<[u8; ARRAY_COLS]>,
     /// Writes performed to each row since construction.
     writes: Vec<u64>,
+    /// Installed fault population, if any (boxed: the clean path pays one
+    /// pointer test, no allocation).
+    faults: Option<Box<FaultMap>>,
 }
 
 impl Crossbar {
     /// Creates a zeroed crossbar.
     pub fn new() -> Self {
-        Crossbar { cells: vec![[0; ARRAY_COLS]; ARRAY_ROWS], writes: vec![0; ARRAY_ROWS] }
+        Crossbar {
+            cells: vec![[0; ARRAY_COLS]; ARRAY_ROWS],
+            writes: vec![0; ARRAY_ROWS],
+            faults: None,
+        }
     }
 
-    /// Reads the 2-bit digit at (`row`, `col`).
+    /// Installs a fault population. Reads from here on return what the
+    /// broken array senses; the programmed contents are untouched.
+    pub fn install_faults(&mut self, map: FaultMap) {
+        self.faults = Some(Box::new(map));
+    }
+
+    /// The installed fault map, if any.
+    pub fn fault_map(&self) -> Option<&FaultMap> {
+        self.faults.as_deref()
+    }
+
+    /// Reads the 2-bit digit at (`row`, `col`) as the bit-line senses it
+    /// (faults applied).
     ///
     /// # Panics
     /// Panics if `row` or `col` is out of range.
     pub fn digit(&self, row: usize, col: usize) -> u8 {
-        self.cells[row][col]
+        let stored = self.cells[row][col];
+        match &self.faults {
+            None => stored,
+            Some(map) => map.effective_digit(row, col, stored, self.writes[row]),
+        }
     }
 
     /// Reads the word stored in `lane` of `row`.
@@ -40,8 +72,43 @@ impl Crossbar {
         assert!(lane < LANES, "lane {lane} out of range");
         let base = lane * DIGITS_PER_WORD;
         let mut word_digits = [0u8; DIGITS_PER_WORD];
-        word_digits.copy_from_slice(&self.cells[row][base..base + DIGITS_PER_WORD]);
+        if self.faults.is_none() {
+            word_digits.copy_from_slice(&self.cells[row][base..base + DIGITS_PER_WORD]);
+        } else {
+            for (i, digit) in word_digits.iter_mut().enumerate() {
+                *digit = self.digit(row, base + i);
+            }
+        }
         digits::digits_to_word(&word_digits)
+    }
+
+    /// The spare-checksum-row integrity check: per column, the residue
+    /// (mod 4) of the digits the bit-line reads back is compared against
+    /// the residue of the programmed digits (which the write datapath
+    /// accumulated into the spare row). Returns the mismatching columns —
+    /// empty means no detectable corruption. Corruptions that cancel
+    /// mod 4 within a column alias to "clean"; that is inherent to
+    /// residue checks.
+    ///
+    /// Without a fault map the scan is trivially clean and free.
+    pub fn integrity_scan(&self) -> Vec<usize> {
+        let Some(map) = self.faults.as_deref() else {
+            return Vec::new();
+        };
+        let mut bad = Vec::new();
+        for col in 0..ARRAY_COLS {
+            let mut intended: u32 = 0;
+            let mut sensed: u32 = 0;
+            for row in 0..ARRAY_ROWS {
+                let stored = self.cells[row][col];
+                intended += u32::from(stored);
+                sensed += u32::from(map.effective_digit(row, col, stored, self.writes[row]));
+            }
+            if intended % 4 != sensed % 4 {
+                bad.push(col);
+            }
+        }
+        bad
     }
 
     /// Reads all eight lanes of `row`.
@@ -168,6 +235,79 @@ mod tests {
         xb.write_row(2, &[0; LANES]);
         assert_eq!(xb.max_row_writes(), 5);
         assert_eq!(xb.total_writes(), 6);
+    }
+
+    #[test]
+    fn clean_fault_map_changes_nothing() {
+        use crate::fault::{FaultMap, FaultRates};
+        let mut xb = Crossbar::new();
+        xb.write_row(3, &[1, -2, 3, -4, 5, -6, 7, -8]);
+        let plain = xb.read_row(3);
+        xb.install_faults(FaultMap::generate(11, &FaultRates::none()));
+        assert_eq!(xb.read_row(3), plain);
+        assert!(xb.integrity_scan().is_empty());
+    }
+
+    #[test]
+    fn stuck_cells_corrupt_reads_and_fail_the_scan() {
+        use crate::fault::{FaultMap, FaultRates};
+        let mut xb = Crossbar::new();
+        xb.install_faults(FaultMap::generate(
+            11,
+            &FaultRates {
+                stuck_at_max: 0.02,
+                ..FaultRates::none()
+            },
+        ));
+        // All-zero programmed data: any stuck-at-max cell shows.
+        let corrupted = (0..ARRAY_ROWS).any(|r| xb.read_row(r) != [0; LANES]);
+        assert!(corrupted, "2% stuck-at-max cells must corrupt some word");
+        let bad = xb.integrity_scan();
+        assert!(!bad.is_empty(), "residue scan must flag the stuck columns");
+        assert!(bad.iter().all(|&c| c < ARRAY_COLS));
+    }
+
+    #[test]
+    fn scan_misses_nothing_it_could_see() {
+        // A fault that never changes a read never fails the scan:
+        // stuck-at-0 over all-zero data.
+        use crate::fault::{FaultMap, FaultRates};
+        let mut xb = Crossbar::new();
+        xb.install_faults(FaultMap::generate(
+            5,
+            &FaultRates {
+                stuck_at_zero: 0.05,
+                ..FaultRates::none()
+            },
+        ));
+        assert!(xb.integrity_scan().is_empty());
+        for r in 0..ARRAY_ROWS {
+            assert_eq!(xb.read_row(r), [0; LANES]);
+        }
+    }
+
+    #[test]
+    fn endurance_death_via_write_counters() {
+        use crate::fault::{FaultMap, FaultRates};
+        let mut xb = Crossbar::new();
+        xb.install_faults(FaultMap::generate(
+            1,
+            &FaultRates {
+                endurance_limit: Some(3),
+                ..FaultRates::none()
+            },
+        ));
+        for _ in 0..3 {
+            xb.write_row(7, &[42; LANES]);
+        }
+        assert_eq!(xb.read_row(7), [42; LANES], "row healthy at the limit");
+        assert!(xb.integrity_scan().is_empty());
+        xb.write_row(7, &[42; LANES]);
+        assert_eq!(xb.read_row(7), [0; LANES], "fourth write kills the row");
+        assert!(
+            !xb.integrity_scan().is_empty(),
+            "worn row must fail the residue check"
+        );
     }
 
     proptest! {

@@ -30,7 +30,10 @@ impl fmt::Display for RramError {
                 write!(f, "instruction `{op}` requires chip-level execution")
             }
             RramError::AdcOverrange { partial_sum, limit } => {
-                write!(f, "ADC over-range: partial sum {partial_sum} exceeds limit {limit}")
+                write!(
+                    f,
+                    "ADC over-range: partial sum {partial_sum} exceeds limit {limit}"
+                )
             }
             RramError::LutIndexOutOfRange(index) => write!(f, "LUT index {index} out of range"),
             RramError::FixedOverflow(value) => {

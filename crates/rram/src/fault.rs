@@ -1,0 +1,322 @@
+//! Structured ReRAM fault model: stuck cells, dead rows/bit-lines, ADC
+//! faults, and endurance-driven wear-out.
+//!
+//! The paper operates its arrays at a conservative 2-level cell precisely
+//! because ReRAM suffers "strong non-uniform analog resistance due to
+//! process variation" (§6) and bounded write endurance (~10¹¹ writes,
+//! §7.5). This module gives those failure modes a concrete, seedable
+//! shape so the simulator can study detection and recovery:
+//!
+//! * **Stuck-at cells** — a cell frozen in its highest-resistance state
+//!   reads digit 0 ("stuck-at-0"); one frozen in its lowest-resistance
+//!   state reads the maximum digit ("stuck-at-1" in memory-test jargon,
+//!   digit 3 for 2-bit cells).
+//! * **Dead rows / dead bit-lines** — a broken word-line driver or
+//!   bit-line contact takes out the whole line; reads along it return 0.
+//! * **ADC offset** — a miscalibrated converter that biases *every*
+//!   conversion of the array by ±1 LSB (a permanent peripheral fault).
+//! * **Transient ADC glitches** — individual conversions misread by
+//!   ±1 LSB with some probability; unlike the calibrated-out
+//!   [`AnalogSpec::noise_prob`](crate::AnalogSpec) operating noise, these
+//!   are treated as *faults*: the periphery detects them (see below) and
+//!   the runtime may retry.
+//! * **Endurance wear-out** — a row whose write count exceeds the
+//!   configured endurance limit stops accepting programming pulses and
+//!   reads as a dead row thereafter. Driven by the crossbar's per-row
+//!   write counters, the same ones behind the §7.5 lifetime model.
+//!
+//! Detection model: each array keeps one *spare checksum row* holding the
+//! per-column sum (mod 4) of the programmed digits, updated by the write
+//! datapath from the data being written — so the checksum always encodes
+//! the *intended* contents. An integrity scan re-derives the column sums
+//! from what the bit-lines actually read back and flags any column whose
+//! residue disagrees. ADC faults never corrupt stored data, so they are
+//! detected differently: conversions are duplicated on the checksum
+//! column, and a disagreement latches a sticky fault flag on the array.
+//! Both mechanisms are residue checks, with the usual aliasing caveat:
+//! two corruptions in one column that cancel mod 4 go unnoticed.
+//!
+//! Everything is generated deterministically from a seed, so a given
+//! (seed, rates) pair names one reproducible broken chip.
+
+use imp_isa::{ARRAY_COLS, ARRAY_ROWS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-category fault probabilities used to generate a [`FaultMap`].
+///
+/// All rates are probabilities per *site* (cell, row, column, or array as
+/// noted). [`FaultRates::none`] disables everything.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Per-cell probability of being stuck at digit 0 (highest-resistance
+    /// state, cell never forms).
+    pub stuck_at_zero: f64,
+    /// Per-cell probability of being stuck at the maximum digit (lowest
+    /// resistance, cell never resets).
+    pub stuck_at_max: f64,
+    /// Per-row probability that the word line is dead (reads as 0).
+    pub dead_row: f64,
+    /// Per-column probability that the bit line is dead (reads as 0).
+    pub dead_col: f64,
+    /// Per-array probability of a permanent ±1 LSB ADC offset.
+    pub adc_offset: f64,
+    /// Per-conversion probability of a transient ±1 LSB ADC glitch.
+    pub transient_adc: f64,
+    /// Write-endurance limit per row; a row written more times than this
+    /// dies. `None` disables endurance wear-out (the
+    /// [`CELL_ENDURANCE_WRITES`](crate::CELL_ENDURANCE_WRITES) figure is
+    /// ~10¹¹ — far beyond any single simulated run — so tests set small
+    /// values to exercise the mechanism).
+    pub endurance_limit: Option<u64>,
+}
+
+impl FaultRates {
+    /// No faults of any kind.
+    pub fn none() -> Self {
+        FaultRates {
+            stuck_at_zero: 0.0,
+            stuck_at_max: 0.0,
+            dead_row: 0.0,
+            dead_col: 0.0,
+            adc_offset: 0.0,
+            transient_adc: 0.0,
+            endurance_limit: None,
+        }
+    }
+
+    /// A uniform cell-fault profile: probability `p` per cell, split
+    /// evenly between stuck-at-0 and stuck-at-max. Convenient for sweeps.
+    pub fn cells(p: f64) -> Self {
+        FaultRates {
+            stuck_at_zero: p / 2.0,
+            stuck_at_max: p / 2.0,
+            ..FaultRates::none()
+        }
+    }
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        FaultRates::none()
+    }
+}
+
+/// Sentinel in the dense stuck-cell table: no fault at this cell.
+const NO_FAULT: u8 = u8::MAX;
+
+/// The concrete fault population of one physical array, generated
+/// deterministically from a seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultMap {
+    /// Dense per-cell stuck values ([`NO_FAULT`] = healthy).
+    stuck: Vec<[u8; ARRAY_COLS]>,
+    /// Dead word lines.
+    dead_rows: Vec<bool>,
+    /// Dead bit lines.
+    dead_cols: [bool; ARRAY_COLS],
+    /// Permanent ADC conversion offset in LSBs (0 = calibrated).
+    adc_offset: i64,
+    /// Per-conversion transient glitch probability.
+    transient_adc: f64,
+    /// Row write-endurance limit, if wear-out is modeled.
+    endurance_limit: Option<u64>,
+    /// The generation seed (re-used to derive per-attempt transient
+    /// streams).
+    seed: u64,
+}
+
+impl FaultMap {
+    /// Samples a fault population from `rates`, fully determined by
+    /// `seed`.
+    pub fn generate(seed: u64, rates: &FaultRates) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut stuck = vec![[NO_FAULT; ARRAY_COLS]; ARRAY_ROWS];
+        let cell_rate = rates.stuck_at_zero + rates.stuck_at_max;
+        if cell_rate > 0.0 {
+            for row in stuck.iter_mut() {
+                for cell in row.iter_mut() {
+                    let draw: f64 = rng.gen();
+                    if draw < rates.stuck_at_zero {
+                        *cell = 0;
+                    } else if draw < cell_rate {
+                        *cell = 3; // max digit for 2-bit cells
+                    }
+                }
+            }
+        }
+        let dead_rows: Vec<bool> = (0..ARRAY_ROWS)
+            .map(|_| rates.dead_row > 0.0 && rng.gen::<f64>() < rates.dead_row)
+            .collect();
+        let mut cols = [false; ARRAY_COLS];
+        if rates.dead_col > 0.0 {
+            for col in cols.iter_mut() {
+                *col = rng.gen::<f64>() < rates.dead_col;
+            }
+        }
+        let adc_offset = if rates.adc_offset > 0.0 && rng.gen::<f64>() < rates.adc_offset {
+            if rng.gen::<bool>() {
+                1
+            } else {
+                -1
+            }
+        } else {
+            0
+        };
+        FaultMap {
+            stuck,
+            dead_rows,
+            dead_cols: cols,
+            adc_offset,
+            transient_adc: rates.transient_adc,
+            endurance_limit: rates.endurance_limit,
+            seed,
+        }
+    }
+
+    /// `true` when the map contains no fault of any kind — installing it
+    /// is then behaviourally a no-op (transient probability 0 and no
+    /// endurance limit included).
+    pub fn is_clean(&self) -> bool {
+        self.adc_offset == 0
+            && self.transient_adc == 0.0
+            && self.endurance_limit.is_none()
+            && !self.dead_rows.iter().any(|&d| d)
+            && !self.dead_cols.iter().any(|&d| d)
+            && self
+                .stuck
+                .iter()
+                .all(|row| row.iter().all(|&c| c == NO_FAULT))
+    }
+
+    /// Number of permanently faulty storage sites (stuck cells plus cells
+    /// on dead lines, counted once each).
+    pub fn permanent_cell_faults(&self) -> usize {
+        let mut count = 0;
+        for (r, row) in self.stuck.iter().enumerate() {
+            for (c, &cell) in row.iter().enumerate() {
+                if self.dead_rows[r] || self.dead_cols[c] || cell != NO_FAULT {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// The permanent ADC offset in LSBs (0 when calibrated).
+    pub fn adc_offset(&self) -> i64 {
+        self.adc_offset
+    }
+
+    /// Per-conversion transient ADC glitch probability.
+    pub fn transient_adc(&self) -> f64 {
+        self.transient_adc
+    }
+
+    /// Row write-endurance limit, if wear-out is modeled.
+    pub fn endurance_limit(&self) -> Option<u64> {
+        self.endurance_limit
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The digit actually read back from `(row, col)` when the programmed
+    /// value is `stored` and the row has seen `row_writes` write pulses.
+    #[inline]
+    pub fn effective_digit(&self, row: usize, col: usize, stored: u8, row_writes: u64) -> u8 {
+        if self.dead_rows[row] || self.dead_cols[col] {
+            return 0;
+        }
+        if let Some(limit) = self.endurance_limit {
+            if row_writes > limit {
+                return 0; // worn-out row no longer holds programmed data
+            }
+        }
+        let s = self.stuck[row][col];
+        if s != NO_FAULT {
+            s
+        } else {
+            stored
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_generates_clean_map() {
+        let map = FaultMap::generate(7, &FaultRates::none());
+        assert!(map.is_clean());
+        assert_eq!(map.permanent_cell_faults(), 0);
+        assert_eq!(map.adc_offset(), 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let rates = FaultRates {
+            stuck_at_zero: 0.01,
+            stuck_at_max: 0.01,
+            ..FaultRates::none()
+        };
+        let a = FaultMap::generate(42, &rates);
+        let b = FaultMap::generate(42, &rates);
+        assert_eq!(a, b);
+        let c = FaultMap::generate(43, &rates);
+        assert_ne!(a, c, "different seeds must draw different populations");
+    }
+
+    #[test]
+    fn cell_rate_lands_near_expectation() {
+        let map = FaultMap::generate(1, &FaultRates::cells(0.01));
+        let n = map.permanent_cell_faults();
+        let expect = (ARRAY_ROWS * ARRAY_COLS) as f64 * 0.01;
+        assert!(
+            (n as f64) > expect * 0.5 && (n as f64) < expect * 2.0,
+            "{n} stuck cells vs expectation {expect}"
+        );
+    }
+
+    #[test]
+    fn dead_lines_read_zero() {
+        let rates = FaultRates {
+            dead_row: 1.0,
+            ..FaultRates::none()
+        };
+        let map = FaultMap::generate(5, &rates);
+        assert_eq!(map.effective_digit(17, 3, 2, 0), 0);
+    }
+
+    #[test]
+    fn endurance_kills_overwritten_rows() {
+        let rates = FaultRates {
+            endurance_limit: Some(10),
+            ..FaultRates::none()
+        };
+        let map = FaultMap::generate(5, &rates);
+        assert_eq!(
+            map.effective_digit(0, 0, 3, 10),
+            3,
+            "at the limit the row still works"
+        );
+        assert_eq!(
+            map.effective_digit(0, 0, 3, 11),
+            0,
+            "beyond the limit it is dead"
+        );
+    }
+
+    #[test]
+    fn stuck_cells_override_stored_digits() {
+        let rates = FaultRates {
+            stuck_at_max: 1.0,
+            ..FaultRates::none()
+        };
+        let map = FaultMap::generate(9, &rates);
+        assert_eq!(map.effective_digit(0, 0, 1, 0), 3);
+    }
+}

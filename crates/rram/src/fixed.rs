@@ -84,7 +84,10 @@ impl Fixed {
 
     /// One in the given format.
     pub fn one(format: QFormat) -> Self {
-        Fixed { raw: 1i32 << format.frac_bits(), format }
+        Fixed {
+            raw: 1i32 << format.frac_bits(),
+            format,
+        }
     }
 
     /// Builds a value from its raw 32-bit word.
@@ -103,7 +106,10 @@ impl Fixed {
         if !rounded.is_finite() || rounded > i32::MAX as f64 || rounded < i32::MIN as f64 {
             return Err(RramError::FixedOverflow(value));
         }
-        Ok(Fixed { raw: rounded as i32, format })
+        Ok(Fixed {
+            raw: rounded as i32,
+            format,
+        })
     }
 
     /// Converts from `f64`, saturating at the representable range instead of
@@ -141,13 +147,19 @@ impl Fixed {
     /// Wrapping addition (the hardware behaviour).
     pub fn wrapping_add(self, rhs: Fixed) -> Fixed {
         debug_assert_eq!(self.format, rhs.format);
-        Fixed { raw: self.raw.wrapping_add(rhs.raw), format: self.format }
+        Fixed {
+            raw: self.raw.wrapping_add(rhs.raw),
+            format: self.format,
+        }
     }
 
     /// Wrapping subtraction.
     pub fn wrapping_sub(self, rhs: Fixed) -> Fixed {
         debug_assert_eq!(self.format, rhs.format);
-        Fixed { raw: self.raw.wrapping_sub(rhs.raw), format: self.format }
+        Fixed {
+            raw: self.raw.wrapping_sub(rhs.raw),
+            format: self.format,
+        }
     }
 
     /// Fixed-point multiplication: the 64-bit product arithmetic-shifted
@@ -155,7 +167,10 @@ impl Fixed {
     pub fn wrapping_mul(self, rhs: Fixed) -> Fixed {
         debug_assert_eq!(self.format, rhs.format);
         let product = i64::from(self.raw) * i64::from(rhs.raw);
-        Fixed { raw: (product >> self.format.frac_bits()) as i32, format: self.format }
+        Fixed {
+            raw: (product >> self.format.frac_bits()) as i32,
+            format: self.format,
+        }
     }
 
     /// Checked addition: `None` on signed overflow.
@@ -163,7 +178,10 @@ impl Fixed {
         if self.format != rhs.format {
             return None;
         }
-        self.raw.checked_add(rhs.raw).map(|raw| Fixed { raw, format: self.format })
+        self.raw.checked_add(rhs.raw).map(|raw| Fixed {
+            raw,
+            format: self.format,
+        })
     }
 
     /// Checked multiplication: `None` if the shifted product overflows.
@@ -173,7 +191,10 @@ impl Fixed {
         }
         let product = i64::from(self.raw) * i64::from(rhs.raw);
         let shifted = product >> self.format.frac_bits();
-        i32::try_from(shifted).ok().map(|raw| Fixed { raw, format: self.format })
+        i32::try_from(shifted).ok().map(|raw| Fixed {
+            raw,
+            format: self.format,
+        })
     }
 
     /// Absolute error of this value versus a reference `f64`.
@@ -206,7 +227,10 @@ impl std::ops::Mul for Fixed {
 impl std::ops::Neg for Fixed {
     type Output = Fixed;
     fn neg(self) -> Fixed {
-        Fixed { raw: self.raw.wrapping_neg(), format: self.format }
+        Fixed {
+            raw: self.raw.wrapping_neg(),
+            format: self.format,
+        }
     }
 }
 

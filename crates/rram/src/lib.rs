@@ -13,6 +13,9 @@
 //!   tracking (§7.5 lifetime study);
 //! * [`AnalogSpec`] — DAC/ADC resolutions and the bound they place on n-ary
 //!   operand counts (§5.2 node merging is limited by ADC resolution);
+//! * [`fault`] — the structured fault model (stuck cells, dead lines, ADC
+//!   offset/transient faults, endurance wear-out) and its spare-checksum-row
+//!   detection scheme;
 //! * [`ReramArray`] — one "memory array / processing unit": crossbar +
 //!   local execution of every array-local ISA instruction, returning cycle
 //!   counts and activity traces for the energy model.
@@ -48,6 +51,7 @@ mod array;
 mod crossbar;
 pub mod digits;
 mod error;
+pub mod fault;
 mod fixed;
 mod lut;
 mod regfile;
@@ -56,6 +60,7 @@ pub use analog::{AnalogSpec, OpTrace};
 pub use array::ReramArray;
 pub use crossbar::Crossbar;
 pub use error::RramError;
+pub use fault::{FaultMap, FaultRates};
 pub use fixed::{Fixed, QFormat};
 pub use lut::{Lut, LutKind};
 pub use regfile::RegisterFile;

@@ -43,7 +43,10 @@ pub enum LutKind {
 impl Lut {
     /// Creates an all-zero LUT.
     pub fn new() -> Self {
-        Lut { entries: Box::new([0; LUT_ENTRIES]), kind: LutKind::Empty }
+        Lut {
+            entries: Box::new([0; LUT_ENTRIES]),
+            kind: LutKind::Empty,
+        }
     }
 
     /// Builds a LUT by evaluating `f` at every index.
@@ -96,7 +99,10 @@ impl fmt::Debug for Lut {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Lut")
             .field("kind", &self.kind)
-            .field("nonzero_entries", &self.entries.iter().filter(|&&e| e != 0).count())
+            .field(
+                "nonzero_entries",
+                &self.entries.iter().filter(|&&e| e != 0).count(),
+            )
             .finish()
     }
 }

@@ -15,7 +15,9 @@ pub struct RegisterFile {
 impl RegisterFile {
     /// Creates a zeroed register file.
     pub fn new() -> Self {
-        RegisterFile { regs: vec![[0; LANES]; NUM_REGISTERS] }
+        RegisterFile {
+            regs: vec![[0; LANES]; NUM_REGISTERS],
+        }
     }
 
     /// Reads register `reg`.

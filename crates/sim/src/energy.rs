@@ -53,9 +53,24 @@ pub fn tile_components() -> Vec<ComponentSpec> {
             power_mw: 19.2,
             area_mm2: 0.0016,
         },
-        ComponentSpec { name: "S+A", params: "64", power_mw: 1.4, area_mm2: 0.0015 },
-        ComponentSpec { name: "IR", params: "2KB", power_mw: 1.09, area_mm2: 0.0016 },
-        ComponentSpec { name: "OR", params: "2KB", power_mw: 1.09, area_mm2: 0.0016 },
+        ComponentSpec {
+            name: "S+A",
+            params: "64",
+            power_mw: 1.4,
+            area_mm2: 0.0015,
+        },
+        ComponentSpec {
+            name: "IR",
+            params: "2KB",
+            power_mw: 1.09,
+            area_mm2: 0.0016,
+        },
+        ComponentSpec {
+            name: "OR",
+            params: "2KB",
+            power_mw: 1.09,
+            area_mm2: 0.0016,
+        },
         ComponentSpec {
             name: "Register",
             params: "3KB",
@@ -68,7 +83,12 @@ pub fn tile_components() -> Vec<ComponentSpec> {
             power_mw: 1.51,
             area_mm2: 0.0105,
         },
-        ComponentSpec { name: "LUT", params: "8", power_mw: 6.8, area_mm2: 0.0056 },
+        ComponentSpec {
+            name: "LUT",
+            params: "8",
+            power_mw: 6.8,
+            area_mm2: 0.0056,
+        },
         ComponentSpec {
             name: "Inst. Buf",
             params: "8 × 2KB",
@@ -244,8 +264,8 @@ impl EnergyMeter {
 
     /// Integrates network activity.
     pub fn record_noc(&mut self, stats: &imp_noc::NocStats) {
-        self.breakdown.noc_j += stats.flit_hops as f64 * FLIT_HOP_J
-            + stats.reduction_adds as f64 * FLIT_HOP_J;
+        self.breakdown.noc_j +=
+            stats.flit_hops as f64 * FLIT_HOP_J + stats.reduction_adds as f64 * FLIT_HOP_J;
     }
 
     /// The accumulated breakdown.
@@ -307,8 +327,20 @@ mod tests {
             crossbar_active: true,
             ..OpTrace::default()
         };
-        low.record_op(&OpTrace { adc_bits_used: 2, ..base }, &power);
-        high.record_op(&OpTrace { adc_bits_used: 5, ..base }, &power);
+        low.record_op(
+            &OpTrace {
+                adc_bits_used: 2,
+                ..base
+            },
+            &power,
+        );
+        high.record_op(
+            &OpTrace {
+                adc_bits_used: 5,
+                ..base
+            },
+            &power,
+        );
         assert!(high.breakdown().adc_j > low.breakdown().adc_j * 2.0);
         assert_eq!(low.avg_adc_bits(), 2.0);
         assert_eq!(high.avg_adc_bits(), 5.0);

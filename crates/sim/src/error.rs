@@ -1,3 +1,4 @@
+use crate::fault::{FaultEvent, FaultSite};
 use std::fmt;
 
 /// Errors from simulated execution.
@@ -16,15 +17,26 @@ pub enum SimError {
         got: String,
     },
     /// The kernel needs more arrays than the simulated chip provides in
-    /// one round and rounds were disabled.
+    /// one round — either outright, or after the remap policy retired
+    /// too many faulty arrays.
     OutOfArrays {
         /// Arrays required.
         needed: usize,
-        /// Arrays available.
+        /// Arrays available (usable, if arrays have been retired).
         available: usize,
     },
-    /// An array-level fault surfaced (ADC over-range etc.).
-    Array(String),
+    /// An array-level execution fault surfaced (ADC over-range etc.),
+    /// with the detecting array's location when known.
+    Array {
+        /// Where the fault occurred, if execution context was available.
+        site: Option<FaultSite>,
+        /// The underlying substrate error.
+        source: imp_rram::RramError,
+    },
+    /// The run ended with detected-but-unrecovered faults: the fail-fast
+    /// policy aborted, or the retry policy exhausted its attempt budget.
+    /// Carries every detection from the final attempt.
+    Faults(Vec<FaultEvent>),
 }
 
 impl fmt::Display for SimError {
@@ -35,17 +47,43 @@ impl fmt::Display for SimError {
                 write!(f, "input `{name}`: expected {expect}, got {got}")
             }
             SimError::OutOfArrays { needed, available } => {
-                write!(f, "kernel needs {needed} arrays; chip has {available}")
+                write!(
+                    f,
+                    "kernel needs {needed} arrays; chip has {available} usable"
+                )
             }
-            SimError::Array(msg) => write!(f, "array fault: {msg}"),
+            SimError::Array {
+                site: Some(site),
+                source,
+            } => {
+                write!(f, "array fault at {site}: {source}")
+            }
+            SimError::Array { site: None, source } => write!(f, "array fault: {source}"),
+            SimError::Faults(events) => {
+                write!(f, "{} unrecovered fault(s)", events.len())?;
+                if let Some(first) = events.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Array { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<imp_rram::RramError> for SimError {
     fn from(err: imp_rram::RramError) -> Self {
-        SimError::Array(err.to_string())
+        SimError::Array {
+            site: None,
+            source: err,
+        }
     }
 }

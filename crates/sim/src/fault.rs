@@ -1,0 +1,197 @@
+//! Runtime fault detection and recovery policy.
+//!
+//! The substrate-level fault *model* lives in [`imp_rram::fault`]: which
+//! cells are stuck, which lines are dead, how the ADCs misbehave. This
+//! module is the chip-level *response*: every simulated array carries a
+//! spare checksum row whose residue check ([`Crossbar::integrity_scan`])
+//! runs at IB write-back boundaries, and ADC conversions on the checksum
+//! column are duplicated so offset/transient converter faults latch a
+//! detection flag. Detections become structured [`FaultEvent`]s, and the
+//! machine reacts per the configured [`FaultPolicy`]:
+//!
+//! * [`FaultPolicy::Silent`] — record the events, keep the (possibly
+//!   corrupted) outputs. The baseline an unprotected chip gives you.
+//! * [`FaultPolicy::FailFast`] — abort with [`SimError::Faults`] the
+//!   moment an attempt finishes with detections. Never returns silently
+//!   corrupted data.
+//! * [`FaultPolicy::Retry`] — re-execute the kernel, re-drawing transient
+//!   faults each attempt, up to `max` extra attempts. Wasted attempts are
+//!   charged to [`RunReport::fault_overhead_cycles`]. Converges when the
+//!   faults are transient; permanent faults exhaust the budget.
+//! * [`FaultPolicy::Remap`] — retire the physical arrays that failed
+//!   their checks, re-run BUG placement/scheduling around them
+//!   ([`imp_compiler::reschedule`]) and execute again at reduced
+//!   parallelism: graceful degradation instead of an error, as long as
+//!   enough healthy arrays remain.
+//!
+//! Detection itself is modelled as free in cycles: the spare row is
+//! programmed by the same write pulse as its column (the residue
+//! accumulates in the write datapath) and the comparison overlaps the
+//! write-back stage, so only *recovery* — repeated or rescheduled
+//! attempts — costs time and energy.
+//!
+//! [`Crossbar::integrity_scan`]: imp_rram::Crossbar::integrity_scan
+//! [`SimError::Faults`]: crate::SimError::Faults
+//! [`RunReport::fault_overhead_cycles`]: crate::RunReport::fault_overhead_cycles
+
+use imp_rram::FaultRates;
+use std::fmt;
+
+/// Where on the chip a fault was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSite {
+    /// Kernel invocation round the detecting group belonged to.
+    pub round: u64,
+    /// Absolute instance-group index.
+    pub group: usize,
+    /// Instruction block (array within the group).
+    pub ib: usize,
+    /// Flat physical array slot (`cluster * 8 + array`, chip-wide) — the
+    /// unit the remap policy retires.
+    pub physical_slot: usize,
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "round {} group {} ib {} (array slot {})",
+            self.round, self.group, self.ib, self.physical_slot
+        )
+    }
+}
+
+/// What kind of corruption the runtime detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The spare-checksum-row residue check flagged these bit-line
+    /// columns (stuck cells, dead lines, or endurance wear-out).
+    Cell {
+        /// Mismatching column indices, ascending.
+        corrupted_columns: Vec<usize>,
+    },
+    /// Duplicated conversions of the checksum column disagreed: an ADC
+    /// offset or transient glitch corrupted at least one conversion.
+    Adc,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Cell { corrupted_columns } => {
+                write!(
+                    f,
+                    "cell corruption in {} column(s)",
+                    corrupted_columns.len()
+                )
+            }
+            FaultKind::Adc => write!(f, "ADC conversion fault"),
+        }
+    }
+}
+
+/// One detected fault: where, when, what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Location of the detecting array.
+    pub site: FaultSite,
+    /// Array cycle (within the attempt) at which the detection fired —
+    /// the write-back boundary ending the site's round.
+    pub cycle: u64,
+    /// What was detected.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at cycle {}: {}", self.site, self.cycle, self.kind)
+    }
+}
+
+/// How the machine reacts to detected faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Inject faults but take no action: events are recorded in the
+    /// report and outputs may be silently corrupted.
+    #[default]
+    Silent,
+    /// Abort with [`crate::SimError::Faults`] if any attempt ends with
+    /// detections.
+    FailFast,
+    /// Re-execute the kernel until an attempt completes clean.
+    Retry {
+        /// Maximum *extra* attempts after the first.
+        max: u32,
+        /// Idle cycles charged between attempts (drain + reload pacing).
+        backoff_cycles: u64,
+    },
+    /// Retire the faulting physical arrays, reschedule around them, and
+    /// re-execute at reduced parallelism. Errors only when fewer usable
+    /// arrays remain than the kernel needs.
+    Remap,
+}
+
+/// Fault-injection configuration for a simulation run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultConfig {
+    /// Physical fault population parameters, applied per array with a
+    /// seed derived from [`crate::SimConfig::fault_seed`] and the array's
+    /// physical slot.
+    pub rates: FaultRates,
+    /// Recovery policy.
+    pub policy: FaultPolicy,
+}
+
+impl FaultConfig {
+    /// Injects faults at the given rates with the given policy.
+    pub fn new(rates: FaultRates, policy: FaultPolicy) -> Self {
+        FaultConfig { rates, policy }
+    }
+}
+
+/// Derives a per-array seed from the run's fault seed and a physical
+/// array slot (splitmix64 finalizer — changing either input decorrelates
+/// the whole stream).
+pub fn mix_seed(fault_seed: u64, salt: u64) -> u64 {
+    let mut z = fault_seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_seed_is_deterministic_and_decorrelated() {
+        assert_eq!(mix_seed(1, 2), mix_seed(1, 2));
+        assert_ne!(mix_seed(1, 2), mix_seed(1, 3));
+        assert_ne!(mix_seed(1, 2), mix_seed(2, 2));
+        // Adjacent slots under the same seed differ in many bits.
+        let a = mix_seed(0, 0);
+        let b = mix_seed(0, 1);
+        assert!((a ^ b).count_ones() > 16);
+    }
+
+    #[test]
+    fn display_formats() {
+        let event = FaultEvent {
+            site: FaultSite {
+                round: 1,
+                group: 9,
+                ib: 2,
+                physical_slot: 17,
+            },
+            cycle: 420,
+            kind: FaultKind::Cell {
+                corrupted_columns: vec![3, 64],
+            },
+        };
+        let text = event.to_string();
+        assert!(text.contains("group 9"));
+        assert!(text.contains("slot 17"));
+        assert!(text.contains("2 column(s)"));
+        assert!(FaultKind::Adc.to_string().contains("ADC"));
+    }
+}

@@ -40,8 +40,10 @@
 
 pub mod energy;
 mod error;
+pub mod fault;
 pub mod lifetime;
 mod machine;
 
 pub use error::SimError;
+pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultPolicy, FaultSite};
 pub use machine::{Machine, RunReport, SimConfig, TraceEvent};

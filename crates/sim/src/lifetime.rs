@@ -29,8 +29,7 @@ pub fn lifetime_years(writes_per_exec: u64, module_latency: u64) -> f64 {
         return f64::INFINITY;
     }
     let exec_seconds = module_latency.max(1) as f64 * ARRAY_CYCLE_S;
-    let per_row_writes_per_second =
-        writes_per_exec as f64 / ARRAY_ROWS as f64 / exec_seconds;
+    let per_row_writes_per_second = writes_per_exec as f64 / ARRAY_ROWS as f64 / exec_seconds;
     let seconds = CELL_ENDURANCE_WRITES as f64 / per_row_writes_per_second;
     seconds / SECONDS_PER_YEAR
 }

@@ -1,15 +1,17 @@
 //! Functional + timing execution of compiled kernels.
 
 use crate::energy::{ArrayPower, EnergyBreakdown, EnergyMeter};
+use crate::fault::{mix_seed, FaultConfig, FaultEvent, FaultKind, FaultPolicy, FaultSite};
 use crate::lifetime;
 use crate::SimError;
 use imp_compiler::module::{as_cross_ib, as_output_slot, OutputLoc, RegBinding};
-use imp_compiler::{ChipCapacity, CompiledKernel, InputBinding};
+use imp_compiler::schedule::Schedule;
+use imp_compiler::ParallelSpec;
+use imp_compiler::{ArrayAvailability, ChipCapacity, CompiledKernel, InputBinding};
 use imp_dfg::{NodeId, Shape, Tensor};
 use imp_isa::{Instruction, LANES};
 use imp_noc::{HTreeTopology, Network, NocConfig, NocStats};
-use imp_rram::{AnalogSpec, Fixed, ReramArray, ARRAY_CYCLE_S};
-use imp_compiler::ParallelSpec;
+use imp_rram::{AnalogSpec, FaultMap, Fixed, ReramArray, ARRAY_CYCLE_S};
 use std::collections::HashMap;
 
 /// Simulator configuration.
@@ -25,6 +27,15 @@ pub struct SimConfig {
     /// group (issue cycle, IB, instruction, lane-0 result) in
     /// [`RunReport::trace`]. Off by default: traces are large.
     pub trace: bool,
+    /// Base seed for all per-array randomness — process-variation noise
+    /// and fault-population generation. Each physical array slot derives
+    /// its own stream via [`crate::fault::mix_seed`], so runs are
+    /// deterministic in (seed, slot) regardless of group scheduling.
+    pub fault_seed: u64,
+    /// Fault injection and recovery policy. `None` (the default)
+    /// disables the fault model entirely: no fault maps are generated
+    /// and execution is bit-identical to a fault-free chip.
+    pub faults: Option<FaultConfig>,
 }
 
 impl SimConfig {
@@ -35,6 +46,8 @@ impl SimConfig {
             analog: AnalogSpec::prototype(),
             noc: NocConfig::default(),
             trace: false,
+            fault_seed: 0,
+            faults: None,
         }
     }
 
@@ -45,6 +58,8 @@ impl SimConfig {
             analog: AnalogSpec::prototype(),
             noc: NocConfig::default(),
             trace: false,
+            fault_seed: 0,
+            faults: None,
         }
     }
 }
@@ -114,6 +129,32 @@ pub struct RunReport {
     /// Per-instruction trace of the first instance group, when
     /// [`SimConfig::trace`] is set.
     pub trace: Option<Vec<TraceEvent>>,
+    /// Every fault detection recorded across all execution attempts.
+    /// Empty whenever [`SimConfig::faults`] is `None`.
+    pub fault_events: Vec<FaultEvent>,
+    /// Extra execution attempts the recovery policy spent (retry
+    /// re-executions and remap reschedules).
+    pub retries: u32,
+    /// Physical array slots the remap policy retired, ascending.
+    pub retired_arrays: Vec<usize>,
+    /// Array cycles spent on failed attempts and retry backoff. Included
+    /// in [`RunReport::cycles`].
+    pub fault_overhead_cycles: u64,
+}
+
+/// Everything one execution attempt produces; the recovery loop in
+/// [`Machine::run`] decides whether to keep it or pay for another.
+struct Attempt {
+    outputs: HashMap<NodeId, Tensor>,
+    variable_updates: HashMap<String, Tensor>,
+    rounds: u64,
+    cycles: u64,
+    load_cycles: u64,
+    writes_per_exec: u64,
+    instructions_executed: u64,
+    noc: NocStats,
+    trace: Option<Vec<TraceEvent>>,
+    events: Vec<FaultEvent>,
 }
 
 /// The simulated chip.
@@ -139,25 +180,32 @@ impl Machine {
     /// Executes `kernel` over `inputs` (placeholder *and* variable
     /// tensors, keyed by name).
     ///
+    /// When [`SimConfig::faults`] is set, each attempt ends with the
+    /// per-array integrity checks; detections are handled per the
+    /// configured [`FaultPolicy`] — recorded, fatal, retried, or
+    /// remapped around — and every event lands in
+    /// [`RunReport::fault_events`].
+    ///
     /// # Errors
-    /// Missing/ill-shaped inputs, array faults (e.g. ADC over-range), or
-    /// a kernel wider than the simulated chip.
+    /// Missing/ill-shaped inputs, array faults (e.g. ADC over-range), a
+    /// kernel wider than the simulated chip (or wider than its healthy
+    /// remainder under remap), or unrecovered fault detections
+    /// ([`SimError::Faults`]).
     pub fn run(
         &mut self,
         kernel: &CompiledKernel,
         inputs: &HashMap<String, Tensor>,
     ) -> Result<RunReport, SimError> {
-        self.network.reset();
         let format = kernel.format;
         let instances = kernel.parallel.instances();
         let num_ibs = kernel.ibs.len().max(1);
-        let available_arrays = self.config.capacity.arrays();
-        if num_ibs > available_arrays {
-            return Err(SimError::OutOfArrays { needed: num_ibs, available: available_arrays });
+        let total_arrays = self.config.capacity.arrays();
+        if num_ibs > total_arrays {
+            return Err(SimError::OutOfArrays {
+                needed: num_ibs,
+                available: total_arrays,
+            });
         }
-        let groups_total = instances.div_ceil(LANES).max(1);
-        let groups_per_round = (available_arrays / num_ibs).max(1).min(groups_total);
-        let rounds = groups_total.div_ceil(groups_per_round) as u64;
 
         // Quantize inputs once.
         let mut raw_inputs: HashMap<String, (Vec<i32>, Shape)> = HashMap::new();
@@ -170,8 +218,132 @@ impl Machine {
             raw_inputs.insert(name.clone(), (raw, tensor.shape().clone()));
         }
 
-        let power = ArrayPower::from_table4();
+        let policy = self
+            .config
+            .faults
+            .as_ref()
+            .map_or(FaultPolicy::Silent, |c| c.policy);
+        let mut avail = ArrayAvailability::all(total_arrays);
+        let mut schedule_override: Option<Schedule> = None;
+        // Energy accumulates across attempts: failed executions still
+        // burned their joules.
         let mut meter = EnergyMeter::new();
+        let mut retries = 0u32;
+        let mut fault_overhead_cycles = 0u64;
+        let mut fault_events: Vec<FaultEvent> = Vec::new();
+        let mut instructions_executed = 0u64;
+        let mut attempt_idx = 0u64;
+        loop {
+            let usable: Vec<usize> = avail.usable_slots().collect();
+            let sched = schedule_override.as_ref().unwrap_or(&kernel.schedule);
+            let attempt = self.run_once(
+                kernel,
+                &raw_inputs,
+                instances,
+                &usable,
+                sched,
+                attempt_idx,
+                &mut meter,
+            )?;
+            instructions_executed += attempt.instructions_executed;
+            fault_events.extend(attempt.events.iter().cloned());
+
+            if attempt.events.is_empty() || matches!(policy, FaultPolicy::Silent) {
+                // This attempt's outputs stand.
+                let cycles = attempt.cycles + fault_overhead_cycles;
+                let seconds = cycles as f64 * ARRAY_CYCLE_S;
+                let energy = meter.breakdown();
+                let avg_power_w = if seconds > 0.0 {
+                    energy.total_j() / seconds
+                } else {
+                    0.0
+                };
+                return Ok(RunReport {
+                    outputs: attempt.outputs,
+                    variable_updates: attempt.variable_updates,
+                    instances,
+                    rounds: attempt.rounds,
+                    cycles,
+                    load_cycles: attempt.load_cycles,
+                    seconds,
+                    energy,
+                    avg_power_w,
+                    avg_adc_bits: meter.avg_adc_bits(),
+                    noc: attempt.noc,
+                    writes_per_exec: attempt.writes_per_exec,
+                    lifetime_years: lifetime::lifetime_years(
+                        attempt.writes_per_exec,
+                        kernel.module_latency(),
+                    ),
+                    instructions_executed,
+                    trace: attempt.trace,
+                    fault_events,
+                    retries,
+                    retired_arrays: avail.retired_slots().collect(),
+                    fault_overhead_cycles,
+                });
+            }
+
+            match policy {
+                FaultPolicy::Silent => unreachable!("silent runs accept every attempt"),
+                FaultPolicy::FailFast => return Err(SimError::Faults(attempt.events)),
+                FaultPolicy::Retry {
+                    max,
+                    backoff_cycles,
+                } => {
+                    if retries >= max {
+                        return Err(SimError::Faults(attempt.events));
+                    }
+                    fault_overhead_cycles += attempt.cycles + backoff_cycles;
+                }
+                FaultPolicy::Remap => {
+                    // Every event names a slot that was in use, so each
+                    // pass retires at least one new array — the loop is
+                    // bounded by the chip size.
+                    for event in &attempt.events {
+                        avail.retire(event.site.physical_slot);
+                    }
+                    fault_overhead_cycles += attempt.cycles;
+                    schedule_override = Some(match imp_compiler::reschedule(kernel, &avail) {
+                        Ok(sched) => sched,
+                        Err(imp_compiler::CompileError::OutOfArrays { needed, usable }) => {
+                            return Err(SimError::OutOfArrays {
+                                needed,
+                                available: usable,
+                            });
+                        }
+                        Err(other) => unreachable!("rescheduling a compiled kernel: {other}"),
+                    });
+                }
+            }
+            retries += 1;
+            attempt_idx += 1;
+        }
+    }
+
+    /// One complete execution attempt over the given usable arrays and
+    /// schedule, with fault detection but no recovery decisions.
+    #[allow(clippy::too_many_arguments)]
+    fn run_once(
+        &mut self,
+        kernel: &CompiledKernel,
+        raw_inputs: &HashMap<String, (Vec<i32>, Shape)>,
+        instances: usize,
+        usable: &[usize],
+        sched: &Schedule,
+        attempt_idx: u64,
+        meter: &mut EnergyMeter,
+    ) -> Result<Attempt, SimError> {
+        self.network.reset();
+        let format = kernel.format;
+        let num_ibs = kernel.ibs.len().max(1);
+        let groups_total = instances.div_ceil(LANES).max(1);
+        let groups_per_round = (usable.len() / num_ibs).max(1).min(groups_total);
+        let rounds = groups_total.div_ceil(groups_per_round) as u64;
+        let module_latency = sched.module_latency.max(1);
+
+        let power = ArrayPower::from_table4();
+        let mut events: Vec<FaultEvent> = Vec::new();
         let mut instructions_executed = 0u64;
         let mut writes_per_exec = 0u64;
         // Reduction accumulators (wrapping 32-bit adds, as the router
@@ -197,28 +369,34 @@ impl Machine {
 
         for group in 0..groups_total {
             let valid_lanes = (instances - group * LANES).min(LANES);
-            let mut arrays = self.build_group(kernel, group, valid_lanes, &raw_inputs, instances)?;
             // The round this group belongs to (for network timestamps).
             let round = (group / groups_per_round) as u64;
             let group_in_round = group % groups_per_round;
-            let round_base_net =
-                round * kernel.module_latency().max(1) * imp_noc::NET_CYCLES_PER_ARRAY_CYCLE;
-            for entry in &kernel.schedule.entries {
+            let mut arrays = self.build_group(
+                kernel,
+                group,
+                valid_lanes,
+                raw_inputs,
+                instances,
+                usable,
+                group_in_round,
+                attempt_idx,
+            )?;
+            let round_base_net = round * module_latency * imp_noc::NET_CYCLES_PER_ARRAY_CYCLE;
+            for entry in &sched.entries {
                 let inst = kernel.ibs[entry.ib].block.instructions()[entry.index];
                 instructions_executed += 1;
                 let mut lane0_result = None;
                 match inst {
                     Instruction::Movg { src, dst } => {
-                        let (src_ib, src_row) =
-                            as_cross_ib(src).expect("virtual movg source");
-                        let (dst_ib, dst_row) =
-                            as_cross_ib(dst).expect("virtual movg destination");
+                        let (src_ib, src_row) = as_cross_ib(src).expect("virtual movg source");
+                        let (dst_ib, dst_row) = as_cross_ib(dst).expect("virtual movg destination");
                         let value = arrays[src_ib].read_row(src_row as usize);
                         arrays[dst_ib].write_row(dst_row as usize, &value);
-                        let src_tile = self.tile_of(group_in_round, num_ibs, src_ib);
-                        let dst_tile = self.tile_of(group_in_round, num_ibs, dst_ib);
-                        let now = round_base_net
-                            + entry.start * imp_noc::NET_CYCLES_PER_ARRAY_CYCLE;
+                        let src_tile = self.tile_of(usable, group_in_round, num_ibs, src_ib);
+                        let dst_tile = self.tile_of(usable, group_in_round, num_ibs, dst_ib);
+                        let now =
+                            round_base_net + entry.start * imp_noc::NET_CYCLES_PER_ARRAY_CYCLE;
                         self.network.send(src_tile, dst_tile, 32, now);
                     }
                     Instruction::ReduceSum { src, dst } => {
@@ -229,7 +407,17 @@ impl Machine {
                         }
                     }
                     ref local => {
-                        let op_trace = arrays[entry.ib].execute_local(local)?;
+                        let op_trace = arrays[entry.ib].execute_local(local).map_err(|source| {
+                            SimError::Array {
+                                site: Some(FaultSite {
+                                    round,
+                                    group,
+                                    ib: entry.ib,
+                                    physical_slot: usable[group_in_round * num_ibs + entry.ib],
+                                }),
+                                source,
+                            }
+                        })?;
                         meter.record_op(&op_trace, &power);
                         if group == 0 {
                             lane0_result = local.local_dst().map(|dst| match dst {
@@ -250,6 +438,39 @@ impl Machine {
                             ib: entry.ib,
                             instruction: inst,
                             lane0_result,
+                        });
+                    }
+                }
+            }
+            // Write-back-boundary integrity checks: residue scan over
+            // every crossbar, plus the latched ADC duplicate-conversion
+            // disagreement flag. Free in cycles (overlapped with the
+            // write-back stage, see [`crate::fault`]); only recovery
+            // costs time.
+            if self.config.faults.is_some() {
+                let detect_cycle = (round + 1) * module_latency;
+                for (ib, array) in arrays.iter().enumerate() {
+                    let site = FaultSite {
+                        round,
+                        group,
+                        ib,
+                        physical_slot: usable[group_in_round * num_ibs + ib],
+                    };
+                    let corrupted = array.crossbar().integrity_scan();
+                    if !corrupted.is_empty() {
+                        events.push(FaultEvent {
+                            site,
+                            cycle: detect_cycle,
+                            kind: FaultKind::Cell {
+                                corrupted_columns: corrupted,
+                            },
+                        });
+                    }
+                    if array.adc_fault_detected() {
+                        events.push(FaultEvent {
+                            site,
+                            cycle: detect_cycle,
+                            kind: FaultKind::Adc,
                         });
                     }
                 }
@@ -280,7 +501,7 @@ impl Machine {
         let mut reduce_tail_cycles = 0u64;
         if n_slots > 0 {
             let tiles: Vec<usize> = (0..groups_per_round)
-                .map(|g| self.tile_of(g, num_ibs, 0))
+                .map(|g| self.tile_of(usable, g, num_ibs, 0))
                 .collect::<std::collections::BTreeSet<_>>()
                 .into_iter()
                 .collect();
@@ -289,7 +510,7 @@ impl Machine {
         }
         meter.record_noc(&self.network.stats());
 
-        let cycles = rounds * kernel.module_latency().max(1) + reduce_tail_cycles;
+        let cycles = rounds * module_latency + reduce_tail_cycles;
         // Accelerator-mode loading estimate: every group's input rows and
         // register preloads stream in through the external I/O port.
         let bytes_per_group: usize = kernel
@@ -299,15 +520,17 @@ impl Machine {
             .sum();
         let load_seconds = (bytes_per_group * groups_total) as f64 / EXTERNAL_IO_BYTES_PER_S;
         let load_cycles = (load_seconds / ARRAY_CYCLE_S).ceil() as u64;
-        let seconds = cycles as f64 * ARRAY_CYCLE_S;
-        let energy = meter.breakdown();
 
         // Assemble output tensors.
         let mut outputs = HashMap::new();
         let mut variable_updates = HashMap::new();
         for (out_idx, output) in kernel.outputs.iter().enumerate() {
             let k = output.locs.len();
-            let tensor = if output.locs.iter().any(|l| matches!(l, OutputLoc::Reduced { .. })) {
+            let tensor = if output
+                .locs
+                .iter()
+                .any(|l| matches!(l, OutputLoc::Reduced { .. }))
+            {
                 let data: Vec<f64> = output
                     .locs
                     .iter()
@@ -336,39 +559,31 @@ impl Machine {
             outputs.insert(output.node, tensor);
         }
 
-        let avg_power_w = if seconds > 0.0 { energy.total_j() / seconds } else { 0.0 };
-        Ok(RunReport {
+        Ok(Attempt {
             outputs,
             variable_updates,
-            instances,
             rounds,
             cycles,
             load_cycles,
-            seconds,
-            energy,
-            avg_power_w,
-            avg_adc_bits: meter.avg_adc_bits(),
-            noc: self.network.stats(),
             writes_per_exec,
-            lifetime_years: lifetime::lifetime_years(
-                writes_per_exec,
-                kernel.module_latency(),
-            ),
             instructions_executed,
+            noc: self.network.stats(),
             trace,
+            events,
         })
     }
 
     /// Physical tile of IB `ib` of round-local group `g` (groups packed
-    /// densely across the chip's arrays).
-    fn tile_of(&self, group_in_round: usize, num_ibs: usize, ib: usize) -> usize {
+    /// densely across the chip's *usable* arrays).
+    fn tile_of(&self, usable: &[usize], group_in_round: usize, num_ibs: usize, ib: usize) -> usize {
         let arrays_per_tile =
             self.config.capacity.clusters_per_tile * self.config.capacity.arrays_per_cluster;
-        let flat = group_in_round * num_ibs + ib;
+        let flat = usable[group_in_round * num_ibs + ib];
         (flat / arrays_per_tile) % self.config.capacity.tiles
     }
 
     /// Instantiates and loads the arrays of one instance group.
+    #[allow(clippy::too_many_arguments)]
     fn build_group(
         &self,
         kernel: &CompiledKernel,
@@ -376,14 +591,27 @@ impl Machine {
         valid_lanes: usize,
         raw_inputs: &HashMap<String, (Vec<i32>, Shape)>,
         instances: usize,
+        usable: &[usize],
+        group_in_round: usize,
+        attempt_idx: u64,
     ) -> Result<Vec<ReramArray>, SimError> {
         let mut analog = self.config.analog;
         analog.frac_bits = kernel.format.frac_bits();
+        let num_ibs = kernel.ibs.len().max(1);
         let mut arrays = Vec::with_capacity(kernel.ibs.len());
         for (ib_index, ib) in kernel.ibs.iter().enumerate() {
+            let slot = usable[group_in_round * num_ibs + ib_index] as u64;
             let mut array = ReramArray::new(analog);
             // Deterministic, distinct noise stream per physical array.
-            array.set_fault_seed((group as u64) << 16 | ib_index as u64);
+            array.set_fault_seed(mix_seed(self.config.fault_seed, slot));
+            if let Some(cfg) = &self.config.faults {
+                let map = FaultMap::generate(
+                    mix_seed(self.config.fault_seed ^ 0xFA17_FA17_FA17_FA17, slot),
+                    &cfg.rates,
+                );
+                array.install_faults(&map);
+                array.rearm_transients(attempt_idx);
+            }
             array.set_lut(ib.lut.clone());
             // Register preloads (broadcast across lanes; `dot` streams
             // lane 0, per-lane values are never needed for weights).
@@ -438,7 +666,11 @@ impl Machine {
                 .ok_or_else(|| SimError::MissingInput(name.to_string()))
         };
         match binding {
-            InputBinding::Element { name, intra_idx, intra_len } => {
+            InputBinding::Element {
+                name,
+                intra_idx,
+                intra_len,
+            } => {
                 let (data, _) = lookup(name)?;
                 let n = match kernel.parallel {
                     ParallelSpec::Vector { n } => n,
@@ -448,17 +680,24 @@ impl Machine {
                 let flat = intra_idx * n + instance;
                 data.get(flat).copied().ok_or_else(|| SimError::InputShape {
                     name: name.clone(),
-                    expect: format!("{} elements ({} intra × {} instances)", intra_len * n, intra_len, n),
+                    expect: format!(
+                        "{} elements ({} intra × {} instances)",
+                        intra_len * n,
+                        intra_len,
+                        n
+                    ),
                     got: format!("{} elements", data.len()),
                 })
             }
             InputBinding::Shared { name, flat_idx } => {
                 let (data, _) = lookup(name)?;
-                data.get(*flat_idx).copied().ok_or_else(|| SimError::InputShape {
-                    name: name.clone(),
-                    expect: format!("at least {} elements", flat_idx + 1),
-                    got: format!("{} elements", data.len()),
-                })
+                data.get(*flat_idx)
+                    .copied()
+                    .ok_or_else(|| SimError::InputShape {
+                        name: name.clone(),
+                        expect: format!("at least {} elements", flat_idx + 1),
+                        got: format!("{} elements", data.len()),
+                    })
             }
             InputBinding::Window { name, dr, dc } => {
                 let (data, shape) = lookup(name)?;
@@ -501,10 +740,12 @@ mod tests {
         let golden = interp.run().unwrap();
         for (&node, tensor) in &report.outputs {
             let reference = &golden[&node];
-            assert_eq!(tensor.data().len(), reference.data().len(), "output size for {node}");
-            for (i, (&got, &want)) in
-                tensor.data().iter().zip(reference.data()).enumerate()
-            {
+            assert_eq!(
+                tensor.data().len(),
+                reference.data().len(),
+                "output size for {node}"
+            );
+            for (i, (&got, &want)) in tensor.data().iter().zip(reference.data()).enumerate() {
                 assert!(
                     (got - want).abs() <= tolerance,
                     "{node}[{i}]: simulated {got} vs reference {want}"
@@ -516,7 +757,9 @@ mod tests {
 
     fn vec_input(name: &str, data: Vec<f64>) -> HashMap<String, Tensor> {
         let shape = Shape::vector(data.len());
-        [(name.to_string(), Tensor::from_vec(data, shape).unwrap())].into_iter().collect()
+        [(name.to_string(), Tensor::from_vec(data, shape).unwrap())]
+            .into_iter()
+            .collect()
     }
 
     #[test]
@@ -565,7 +808,10 @@ mod tests {
         options.ranges.insert("b".into(), Interval::new(0.5, 2.0));
         let kernel = compile(&graph, &options).unwrap();
         let mut inputs = vec_input("a", (0..16).map(|i| (i as f64) / 2.0 - 4.0).collect());
-        inputs.extend(vec_input("b", (0..16).map(|i| 0.5 + 1.5 * (i as f64) / 16.0).collect()));
+        inputs.extend(vec_input(
+            "b",
+            (0..16).map(|i| 0.5 + 1.5 * (i as f64) / 16.0).collect(),
+        ));
         run_and_compare(&graph, &kernel, &inputs, 5e-3);
     }
 
@@ -665,7 +911,10 @@ mod tests {
         let s = g.sum(sq, 0).unwrap();
         g.fetch(s);
         let graph = g.finish();
-        let options = CompileOptions { policy: OptPolicy::MaxIlp, ..Default::default() };
+        let options = CompileOptions {
+            policy: OptPolicy::MaxIlp,
+            ..Default::default()
+        };
         let kernel = compile(&graph, &options).unwrap();
         assert!(kernel.ibs.len() > 1, "MaxILP should split IBs");
         assert!(kernel.stats.cross_ib_moves > 0);
@@ -676,7 +925,10 @@ mod tests {
         .into_iter()
         .collect();
         let report = run_and_compare(&graph, &kernel, &inputs, 1e-2);
-        assert!(report.noc.messages > 0, "cross-IB movg should hit the network");
+        assert!(
+            report.noc.messages > 0,
+            "cross-IB movg should hit the network"
+        );
     }
 
     #[test]
@@ -736,8 +988,9 @@ mod tests {
         let mut config = SimConfig::functional();
         config.trace = true;
         let mut machine = Machine::new(config);
-        let inputs =
-            [("x".to_string(), Tensor::filled(3.0, Shape::vector(8)))].into_iter().collect();
+        let inputs = [("x".to_string(), Tensor::filled(3.0, Shape::vector(8)))]
+            .into_iter()
+            .collect();
         let report = machine.run(&kernel, &inputs).unwrap();
         let trace = report.trace.as_ref().expect("trace requested");
         assert_eq!(trace.len(), kernel.stats.total_instructions);
@@ -783,12 +1036,9 @@ mod tests {
         g.fetch(total);
         let graph = g.finish();
         let kernel = compile(&graph, &CompileOptions::default()).unwrap();
-        let inputs = [(
-            "x".to_string(),
-            Tensor::filled(0.25, Shape::vector(n)),
-        )]
-        .into_iter()
-        .collect();
+        let inputs = [("x".to_string(), Tensor::filled(0.25, Shape::vector(n)))]
+            .into_iter()
+            .collect();
         let mut machine = Machine::new(SimConfig::functional());
         let report = machine.run(&kernel, &inputs).unwrap();
         assert!(report.rounds > 1);
@@ -807,10 +1057,12 @@ mod tests {
         let graph = g.finish();
         let kernel = compile(&graph, &CompileOptions::default()).unwrap();
         let mut machine = Machine::new(SimConfig::functional());
-        let inputs =
-            [("x".to_string(), Tensor::from_fn(Shape::vector(n), |i| (i % 100) as f64))]
-                .into_iter()
-                .collect();
+        let inputs = [(
+            "x".to_string(),
+            Tensor::from_fn(Shape::vector(n), |i| (i % 100) as f64),
+        )]
+        .into_iter()
+        .collect();
         let report = machine.run(&kernel, &inputs).unwrap();
         assert_eq!(report.rounds, 2);
         assert!(report.avg_adc_bits > 0.0);

@@ -74,7 +74,12 @@ impl Workload {
     /// Compile options for this kernel at `n` instances under `policy`.
     pub fn options(&self, n: usize, policy: OptPolicy) -> CompileOptions {
         let (_, _, ranges) = self.build(n);
-        CompileOptions { policy, expected_instances: n, ranges, ..Default::default() }
+        CompileOptions {
+            policy,
+            expected_instances: n,
+            ranges,
+            ..Default::default()
+        }
     }
 
     /// Compiles the kernel for `n` instances.
@@ -175,7 +180,13 @@ fn build_cndf(g: &mut GraphBuilder, x: NodeId) -> NodeId {
     let den = g.add(one, gax).unwrap();
     let k1 = g.div(one, den).unwrap();
     // Horner evaluation of the 5-term polynomial.
-    let a = [0.319_381_530, -0.356_563_782, 1.781_477_937, -1.821_255_978, 1.330_274_429];
+    let a = [
+        0.319_381_530,
+        -0.356_563_782,
+        1.781_477_937,
+        -1.821_255_978,
+        1.330_274_429,
+    ];
     let mut poly = g.scalar(a[4]);
     for &coef in a[..4].iter().rev() {
         let c = g.scalar(coef);
@@ -217,9 +228,18 @@ fn gen_blackscholes(n: usize, seed: u64) -> HashMap<String, Tensor> {
     }
     let shape = Shape::vector(n);
     [
-        ("spot".to_string(), Tensor::from_vec(spot, shape.clone()).unwrap()),
-        ("strike".to_string(), Tensor::from_vec(strike, shape.clone()).unwrap()),
-        ("logsk".to_string(), Tensor::from_vec(logsk, shape.clone()).unwrap()),
+        (
+            "spot".to_string(),
+            Tensor::from_vec(spot, shape.clone()).unwrap(),
+        ),
+        (
+            "strike".to_string(),
+            Tensor::from_vec(strike, shape.clone()).unwrap(),
+        ),
+        (
+            "logsk".to_string(),
+            Tensor::from_vec(logsk, shape.clone()).unwrap(),
+        ),
         ("time".to_string(), Tensor::from_vec(time, shape).unwrap()),
     ]
     .into_iter()
@@ -246,7 +266,9 @@ const CANNEAL_D: usize = 48;
 
 fn build_canneal(n: usize) -> (Graph, Vec<NodeId>, HashMap<String, Interval>) {
     let mut g = GraphBuilder::new();
-    let deltas = g.placeholder("deltas", Shape::new(vec![2, CANNEAL_D, n])).unwrap();
+    let deltas = g
+        .placeholder("deltas", Shape::new(vec![2, CANNEAL_D, n]))
+        .unwrap();
     let mag = g.abs(deltas).unwrap();
     let per_dim = g.sum(mag, 0).unwrap(); // [48, n]
     let cost = g.sum(per_dim, 0).unwrap(); // [n]
@@ -337,8 +359,12 @@ pub fn streamcluster_gpu() -> Workload {
 fn build_streamcluster(n: usize, d: usize) -> (Graph, Vec<NodeId>, HashMap<String, Interval>) {
     let mut g = GraphBuilder::new();
     let pts = g.placeholder("points", Shape::new(vec![2, d, n])).unwrap();
-    let idx0 = g.constant(Tensor::from_vec(vec![0.0], Shape::vector(1)).unwrap()).unwrap();
-    let idx1 = g.constant(Tensor::from_vec(vec![1.0], Shape::vector(1)).unwrap()).unwrap();
+    let idx0 = g
+        .constant(Tensor::from_vec(vec![0.0], Shape::vector(1)).unwrap())
+        .unwrap();
+    let idx1 = g
+        .constant(Tensor::from_vec(vec![1.0], Shape::vector(1)).unwrap())
+        .unwrap();
     let a4 = g.gather(pts, idx0).unwrap(); // [1, d, n]
     let b4 = g.gather(pts, idx1).unwrap();
     let a = g.reshape(a4, Shape::new(vec![d, n])).unwrap();
@@ -388,7 +414,9 @@ fn build_backprop(n: usize) -> (Graph, Vec<NodeId>, HashMap<String, Interval>) {
         uniform(&mut rng, -0.5, 0.5)
     });
     let w = g.constant(w_data).unwrap();
-    let x = g.placeholder("units", Shape::matrix(BACKPROP_IN, n)).unwrap();
+    let x = g
+        .placeholder("units", Shape::matrix(BACKPROP_IN, n))
+        .unwrap();
     let pre = g.matmul(w, x).unwrap(); // [8, n]
     let hidden = g.sigmoid(pre).unwrap();
     g.fetch(hidden);
@@ -398,7 +426,9 @@ fn build_backprop(n: usize) -> (Graph, Vec<NodeId>, HashMap<String, Interval>) {
 
 fn gen_backprop(n: usize, seed: u64) -> HashMap<String, Tensor> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let x = Tensor::from_fn(Shape::matrix(BACKPROP_IN, n), |_| uniform(&mut rng, -1.0, 1.0));
+    let x = Tensor::from_fn(Shape::matrix(BACKPROP_IN, n), |_| {
+        uniform(&mut rng, -1.0, 1.0)
+    });
     [("units".to_string(), x)].into_iter().collect()
 }
 
@@ -455,7 +485,9 @@ fn gen_hotspot(n: usize, seed: u64) -> HashMap<String, Tensor> {
     // physically meaningful: the border loses heat to ambient).
     let temp = Tensor::from_fn(Shape::matrix(side, side), |_| uniform(&mut rng, 10.0, 30.0));
     let power = Tensor::from_fn(Shape::matrix(side, side), |_| uniform(&mut rng, 0.0, 10.0));
-    [("temp".to_string(), temp), ("power".to_string(), power)].into_iter().collect()
+    [("temp".to_string(), temp), ("power".to_string(), power)]
+        .into_iter()
+        .collect()
 }
 
 /// Kmeans: nearest-centroid assignment over 34-dimensional features.
@@ -480,7 +512,9 @@ const KMEANS_K: usize = 5;
 
 fn build_kmeans(n: usize) -> (Graph, Vec<NodeId>, HashMap<String, Interval>) {
     let mut g = GraphBuilder::new();
-    let x = g.placeholder("features", Shape::matrix(KMEANS_D, n)).unwrap();
+    let x = g
+        .placeholder("features", Shape::matrix(KMEANS_D, n))
+        .unwrap();
     // The centroid terms −2·C and |c_k|² are compiled in as constants:
     // each kmeans iteration recompiles with the updated centroids, and
     // the weights stream from registers instead of occupying 170 rows.
@@ -502,9 +536,9 @@ fn build_kmeans(n: usize) -> (Graph, Vec<NodeId>, HashMap<String, Interval>) {
     }
     let packed = g.pack(&dists, 0).unwrap(); // [K, n]
     let nearest = g.argmin(packed, 0).unwrap(); // [n]
-    // Fetch the distances too: assignment indices can legitimately flip
-    // under fixed-point rounding when two centroids are near-equidistant,
-    // so validation checks distances tightly and indices statistically.
+                                                // Fetch the distances too: assignment indices can legitimately flip
+                                                // under fixed-point rounding when two centroids are near-equidistant,
+                                                // so validation checks distances tightly and indices statistically.
     g.fetch(packed);
     g.fetch(nearest);
     let r = ranges(&[("features", 0.0, 1.0)]);
@@ -514,8 +548,9 @@ fn build_kmeans(n: usize) -> (Graph, Vec<NodeId>, HashMap<String, Interval>) {
 /// Deterministic centroid terms for the compiled-in constants.
 fn kmeans_centroids(seed: u64) -> (Tensor, Tensor) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let centroids: Vec<f64> =
-        (0..KMEANS_K * KMEANS_D).map(|_| uniform(&mut rng, 0.0, 1.0)).collect();
+    let centroids: Vec<f64> = (0..KMEANS_K * KMEANS_D)
+        .map(|_| uniform(&mut rng, 0.0, 1.0))
+        .collect();
     let neg2c: Vec<f64> = centroids.iter().map(|&c| -2.0 * c).collect();
     let c2: Vec<f64> = (0..KMEANS_K)
         .map(|k| {

@@ -13,11 +13,14 @@ const N: usize = 48;
 
 fn validate(w: &Workload, n: usize, policy: OptPolicy) -> imp_sim::RunReport {
     let (graph, outputs, _) = w.build(n);
-    let kernel = w.compile(n, policy).unwrap_or_else(|e| panic!("{}: compile: {e}", w.name));
+    let kernel = w
+        .compile(n, policy)
+        .unwrap_or_else(|e| panic!("{}: compile: {e}", w.name));
     let inputs = w.inputs(n, 7);
     let mut machine = Machine::new(SimConfig::functional());
-    let report =
-        machine.run(&kernel, &inputs).unwrap_or_else(|e| panic!("{}: run: {e}", w.name));
+    let report = machine
+        .run(&kernel, &inputs)
+        .unwrap_or_else(|e| panic!("{}: run: {e}", w.name));
 
     let mut interp = Interpreter::new(&graph);
     for (name, tensor) in &inputs {
@@ -120,7 +123,11 @@ fn streamcluster_gpu_matches_reference() {
 #[test]
 fn all_workloads_compile_under_all_policies() {
     for w in all_workloads() {
-        for policy in [OptPolicy::MaxDlp, OptPolicy::MaxIlp, OptPolicy::MaxArrayUtil] {
+        for policy in [
+            OptPolicy::MaxDlp,
+            OptPolicy::MaxIlp,
+            OptPolicy::MaxArrayUtil,
+        ] {
             let kernel = w
                 .compile(1 << 16, policy)
                 .unwrap_or_else(|e| panic!("{} under {policy:?}: {e}", w.name));
@@ -184,5 +191,8 @@ fn table3_metadata_recorded() {
     assert_eq!(bs.paper_shape, &[4, 10_000_000]);
     assert_eq!(bs.paper_ib_insts, 163);
     assert_eq!(all.iter().filter(|w| w.suite.name() == "PARSEC").count(), 4);
-    assert_eq!(all.iter().filter(|w| w.suite.name() == "Rodinia").count(), 4);
+    assert_eq!(
+        all.iter().filter(|w| w.suite.name() == "Rodinia").count(),
+        4
+    );
 }

@@ -32,19 +32,25 @@ fn main() {
         "instances", "MaxDLP", "MaxILP", "MaxArrayUtil", "model picks"
     );
     for &n in &[1usize << 10, 1 << 18, 1 << 21, 1 << 24, 1 << 27] {
-        let kernels: Vec<_> = [OptPolicy::MaxDlp, OptPolicy::MaxIlp, OptPolicy::MaxArrayUtil]
-            .into_iter()
-            .map(|policy| {
-                let options = CompileOptions {
-                    policy,
-                    expected_instances: n,
-                    ..Default::default()
-                };
-                imp::compile(&build(n), &options).unwrap()
-            })
+        let kernels: Vec<_> = [
+            OptPolicy::MaxDlp,
+            OptPolicy::MaxIlp,
+            OptPolicy::MaxArrayUtil,
+        ]
+        .into_iter()
+        .map(|policy| {
+            let options = CompileOptions {
+                policy,
+                expected_instances: n,
+                ..Default::default()
+            };
+            imp::compile(&build(n), &options).unwrap()
+        })
+        .collect();
+        let cycles: Vec<u64> = kernels
+            .iter()
+            .map(|k| perf::estimate(k, n, cap).total_cycles)
             .collect();
-        let cycles: Vec<u64> =
-            kernels.iter().map(|k| perf::estimate(k, n, cap).total_cycles).collect();
         let pick = perf::select_kernel(&kernels, n, cap).unwrap();
         let names = ["MaxDLP", "MaxILP", "MaxArrayUtil"];
         println!(
@@ -55,12 +61,9 @@ fn main() {
 
     // The Session API does the same selection internally.
     let n = 128;
-    let session = Session::new_adaptive(
-        build(n),
-        CompileOptions::default(),
-        SimConfig::functional(),
-    )
-    .expect("adaptive compile");
+    let session =
+        Session::new_adaptive(build(n), CompileOptions::default(), SimConfig::functional())
+            .expect("adaptive compile");
     println!(
         "\nadaptive session for {n} instances chose {} IBs per module,\n\
          module latency {} cycles.",

@@ -17,7 +17,10 @@ use imp_rram::ReramArray;
 
 fn main() {
     // Integer-format array (Q0) so raw values read naturally.
-    let spec = AnalogSpec { frac_bits: QFormat::INTEGER.frac_bits(), ..AnalogSpec::prototype() };
+    let spec = AnalogSpec {
+        frac_bits: QFormat::INTEGER.frac_bits(),
+        ..AnalogSpec::prototype()
+    };
     let mut array = ReramArray::new(spec);
 
     // Host-side data load: row 0 = a, row 1 = b (eight SIMD lanes each).
@@ -48,9 +51,11 @@ fn main() {
     )
     .expect("assembles");
 
-    println!("program ({} instructions, {} bytes encoded):",
+    println!(
+        "program ({} instructions, {} bytes encoded):",
         program.len(),
-        program.encode().len());
+        program.encode().len()
+    );
     println!("{}", disassemble(&program));
 
     // Execute instruction by instruction, reporting cycles and ADC usage.
@@ -77,8 +82,10 @@ fn main() {
         );
         assert_eq!(result[lane], expect);
     }
-    println!("\ntotal: {total_cycles} array cycles at 20 MHz = {:.2} µs",
-        total_cycles as f64 / 20.0);
+    println!(
+        "\ntotal: {total_cycles} array cycles at 20 MHz = {:.2} µs",
+        total_cycles as f64 / 20.0
+    );
 
     // Round-trip through the binary encoding (≤ 34 bytes per instruction).
     let bytes = program.encode();

@@ -22,8 +22,14 @@ fn main() {
     // Compile the TensorFlow-style kernel down to the 13-instruction ISA.
     let kernel = w.compile(n, OptPolicy::MaxDlp).expect("compiles");
     println!("blackscholes kernel:");
-    println!("  instructions per module: {}", kernel.stats.max_ib_instructions);
-    println!("  module latency         : {} cycles", kernel.module_latency());
+    println!(
+        "  instructions per module: {}",
+        kernel.stats.max_ib_instructions
+    );
+    println!(
+        "  module latency         : {} cycles",
+        kernel.module_latency()
+    );
 
     // Execute on the simulated chip.
     let inputs = w.inputs(n, 42);
@@ -63,6 +69,12 @@ fn main() {
 
     println!("\nmeasured on the functional run:");
     println!("  energy     : {:.2} µJ", report.energy.total_j() * 1e6);
-    println!("  avg power  : {:.3} W (chip TDP is ~416 W)", report.avg_power_w);
-    println!("  lifetime   : {:.1} years at continuous execution", report.lifetime_years);
+    println!(
+        "  avg power  : {:.3} W (chip TDP is ~416 W)",
+        report.avg_power_w
+    );
+    println!(
+        "  lifetime   : {:.1} years at continuous execution",
+        report.lifetime_years
+    );
 }

@@ -11,7 +11,7 @@
 //! ```
 
 use imp::workloads::workload;
-use imp::{Machine, OptPolicy, SimConfig, Shape, Tensor};
+use imp::{Machine, OptPolicy, Shape, SimConfig, Tensor};
 
 fn main() {
     let side = 16;
@@ -55,7 +55,10 @@ fn main() {
         );
     }
 
-    println!("\n{steps} steps: {total_cycles} cycles, {:.2} µJ", total_energy * 1e6);
+    println!(
+        "\n{steps} steps: {total_cycles} cycles, {:.2} µJ",
+        total_energy * 1e6
+    );
     println!("the hot spot diffuses outward and the border sheds heat to ambient —");
     println!("all computed without the grid ever leaving the memory arrays.");
 }

@@ -27,14 +27,19 @@ fn main() {
             *counts.entry(inst.opcode()).or_insert(0usize) += 1;
         }
     }
-    println!("kmeans compiled module ({} instructions):", kernel.stats.total_instructions);
+    println!(
+        "kmeans compiled module ({} instructions):",
+        kernel.stats.total_instructions
+    );
     for (op, count) in &counts {
         println!("  {:<11} × {count}", op.mnemonic());
     }
     let dots = counts.get(&Opcode::Dot).copied().unwrap_or(0);
     println!("\n{dots} in-situ dot products stream centroid weights from registers;");
-    println!("the argmin is {} predicated moves (movs) — no branches in the ISA.\n",
-        counts.get(&Opcode::Movs).copied().unwrap_or(0));
+    println!(
+        "the argmin is {} predicated moves (movs) — no branches in the ISA.\n",
+        counts.get(&Opcode::Movs).copied().unwrap_or(0)
+    );
 
     // Execute and summarize the clustering.
     let inputs = w.inputs(n, 123);

@@ -33,7 +33,10 @@ fn main() -> Result<(), imp::Error> {
     println!("compiled kernel:");
     println!("  instruction blocks : {}", kernel.ibs.len());
     println!("  total instructions : {}", kernel.stats.total_instructions);
-    println!("  module latency     : {} array cycles", kernel.module_latency());
+    println!(
+        "  module latency     : {} array cycles",
+        kernel.module_latency()
+    );
 
     // --- 3. Execute on the simulated chip.
     let data = Tensor::from_fn(Shape::vector(n), |i| (i as f64 * 0.71).sin() * 3.0);
@@ -49,9 +52,18 @@ fn main() -> Result<(), imp::Error> {
     println!("  instances        : {}", report.instances);
     println!("  rounds           : {}", report.rounds);
     println!("  cycles           : {}", report.cycles);
-    println!("  wall-clock       : {:.2} µs @ 20 MHz arrays", report.seconds * 1e6);
-    println!("  energy           : {:.2} nJ", report.energy.total_j() * 1e9);
-    println!("  avg ADC resolution: {:.2} bits (of 5)", report.avg_adc_bits);
+    println!(
+        "  wall-clock       : {:.2} µs @ 20 MHz arrays",
+        report.seconds * 1e6
+    );
+    println!(
+        "  energy           : {:.2} nJ",
+        report.energy.total_j() * 1e9
+    );
+    println!(
+        "  avg ADC resolution: {:.2} bits (of 5)",
+        report.avg_adc_bits
+    );
     println!("  reduction adds in routers: {}", report.noc.reduction_adds);
     Ok(())
 }

@@ -2,9 +2,7 @@
 //! by `imp-compiler`, executed by `imp-sim` through the `imp::Session`
 //! front-end, validated against the reference interpreter.
 
-use imp::{
-    CompileOptions, GraphBuilder, Interpreter, OptPolicy, Session, Shape, Tensor,
-};
+use imp::{CompileOptions, GraphBuilder, Interpreter, OptPolicy, Session, Shape, Tensor};
 use std::collections::HashMap;
 
 fn run_both(
@@ -54,8 +52,12 @@ fn pipeline_of_every_op_class() {
     g.fetch(out);
 
     let mut options = CompileOptions::default();
-    options.ranges.insert("x".into(), imp::range::Interval::new(-3.0, 3.0));
-    options.ranges.insert("y".into(), imp::range::Interval::new(-3.0, 3.0));
+    options
+        .ranges
+        .insert("x".into(), imp::range::Interval::new(-3.0, 3.0));
+    options
+        .ranges
+        .insert("y".into(), imp::range::Interval::new(-3.0, 3.0));
 
     let xs = Tensor::from_fn(Shape::vector(n), |i| ((i as f64) * 0.37).sin() * 3.0);
     let ys = Tensor::from_fn(Shape::vector(n), |i| ((i as f64) * 0.53).cos() * 3.0);
@@ -79,7 +81,11 @@ fn multi_round_execution_is_seamless() {
     g.fetch(y);
     let xs = Tensor::from_fn(Shape::vector(n), |i| (i % 1000) as f64 / 100.0);
     let (golden, report) = run_both(g, vec![("x", xs)], CompileOptions::default());
-    assert!(report.rounds > 1, "expected multiple rounds, got {}", report.rounds);
+    assert!(
+        report.rounds > 1,
+        "expected multiple rounds, got {}",
+        report.rounds
+    );
     let want = &golden[&y];
     let got = &report.outputs[&y];
     // Spot-check across round boundaries.
@@ -105,13 +111,19 @@ fn ilp_and_dlp_policies_agree_functionally() {
     let (_, dlp_report) = run_both(
         g1,
         vec![("x", xs.clone())],
-        CompileOptions { policy: OptPolicy::MaxDlp, ..Default::default() },
+        CompileOptions {
+            policy: OptPolicy::MaxDlp,
+            ..Default::default()
+        },
     );
     let (g2, s2) = make();
     let (_, ilp_report) = run_both(
         g2,
         vec![("x", xs)],
-        CompileOptions { policy: OptPolicy::MaxIlp, ..Default::default() },
+        CompileOptions {
+            policy: OptPolicy::MaxIlp,
+            ..Default::default()
+        },
     );
     let a = &dlp_report.outputs[&s1];
     let b = &ilp_report.outputs[&s2];

@@ -15,7 +15,10 @@ fn impc(args: &[&str]) -> (String, String, bool) {
 }
 
 fn kernel_path(name: &str) -> String {
-    format!("{}/../../examples/kernels/{name}", env!("CARGO_MANIFEST_DIR"))
+    format!(
+        "{}/../../examples/kernels/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
 }
 
 #[test]
@@ -32,15 +35,24 @@ fn disassembles() {
     let (stdout, _, ok) = impc(&[&kernel_path("softplus.imp"), "--disasm", "--policy", "dlp"]);
     assert!(ok);
     assert!(stdout.contains("instruction block 0"), "{stdout}");
-    assert!(stdout.contains("lut "), "sigmoid must lower through the LUT: {stdout}");
-    assert!(stdout.contains("movs "), "select must lower to movs: {stdout}");
+    assert!(
+        stdout.contains("lut "),
+        "sigmoid must lower through the LUT: {stdout}"
+    );
+    assert!(
+        stdout.contains("movs "),
+        "select must lower to movs: {stdout}"
+    );
 }
 
 #[test]
 fn runs_with_midpoint_inputs() {
     let (stdout, stderr, ok) = impc(&[&kernel_path("saxpy.imp"), "--run"]);
     assert!(ok, "stderr: {stderr}");
-    assert!(stdout.contains("executed with range-midpoint inputs"), "{stdout}");
+    assert!(
+        stdout.contains("executed with range-midpoint inputs"),
+        "{stdout}"
+    );
     assert!(stdout.contains("energy"), "{stdout}");
 }
 
@@ -49,7 +61,10 @@ fn rangecheck_passes_for_shipped_kernels() {
     for kernel in ["saxpy.imp", "softplus.imp", "l2norm.imp"] {
         let (stdout, _, ok) = impc(&[&kernel_path(kernel), "--rangecheck"]);
         assert!(ok, "{kernel}: {stdout}");
-        assert!(stdout.contains("overflowing nodes at Q16.16: 0"), "{stdout}");
+        assert!(
+            stdout.contains("overflowing nodes at Q16.16: 0"),
+            "{stdout}"
+        );
     }
 }
 

@@ -55,7 +55,10 @@ fn analytical_model_selects_by_input_size() {
             assert!(chosen <= perf::estimate(k, 1 << 22, cap).total_cycles);
         }
     }
-    assert!(splittable >= 4, "expected several splittable kernels, got {splittable}");
+    assert!(
+        splittable >= 4,
+        "expected several splittable kernels, got {splittable}"
+    );
     assert!(
         ilp_wins_small * 2 >= splittable,
         "ILP should win small inputs on most splittable kernels ({ilp_wins_small}/{splittable})"
@@ -83,7 +86,10 @@ fn node_merging_reduces_module_latency() {
         let with = imp::compile(&graph, &base).unwrap();
         let without = imp::compile(
             &graph,
-            &CompileOptions { node_merging: false, ..base.clone() },
+            &CompileOptions {
+                node_merging: false,
+                ..base.clone()
+            },
         )
         .unwrap();
         assert!(
@@ -96,7 +102,10 @@ fn node_merging_reduces_module_latency() {
             improved += 1;
         }
     }
-    assert!(improved * 2 >= total, "merging should help at least half the kernels");
+    assert!(
+        improved * 2 >= total,
+        "merging should help at least half the kernels"
+    );
 }
 
 #[test]
@@ -113,7 +122,10 @@ fn pipelining_reduces_module_latency_everywhere() {
         let with = imp::compile(&graph, &base).unwrap();
         let without = imp::compile(
             &graph,
-            &CompileOptions { pipelining: false, ..base.clone() },
+            &CompileOptions {
+                pipelining: false,
+                ..base.clone()
+            },
         )
         .unwrap();
         assert!(
@@ -130,12 +142,13 @@ fn pipelining_reduces_module_latency_everywhere() {
 fn slots_per_instance_bound_array_usage() {
     let cap = ChipCapacity::paper();
     for w in all_workloads() {
-        let kernel = w.compile(w.paper_instances, OptPolicy::MaxArrayUtil).unwrap();
+        let kernel = w
+            .compile(w.paper_instances, OptPolicy::MaxArrayUtil)
+            .unwrap();
         let est = perf::estimate(&kernel, w.paper_instances, cap);
         // MaxArrayUtil must not blow past one round by more than the
         // instance count demands at 1 IB.
-        let one_ib_rounds =
-            (w.paper_instances as u64).div_ceil(cap.simd_slots() as u64);
+        let one_ib_rounds = (w.paper_instances as u64).div_ceil(cap.simd_slots() as u64);
         assert!(
             est.rounds <= one_ib_rounds.max(1) * 2,
             "{}: {} rounds vs {} at 1 IB",
@@ -148,7 +161,10 @@ fn slots_per_instance_bound_array_usage() {
 
 #[test]
 fn div_iteration_count_trades_cycles_for_precision() {
-    let w = all_workloads().into_iter().find(|w| w.name == "blackscholes").unwrap();
+    let w = all_workloads()
+        .into_iter()
+        .find(|w| w.name == "blackscholes")
+        .unwrap();
     let n = 1 << 12;
     let (graph, _, ranges) = w.build(n);
     let fast = CompileOptions {

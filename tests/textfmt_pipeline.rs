@@ -6,17 +6,18 @@
 use imp::{CompileOptions, Interpreter, Machine, SimConfig, Tensor};
 use std::collections::HashMap;
 
-fn run_text_kernel(
-    text: &str,
-    feeds: &[(&str, Tensor)],
-    tolerance: f64,
-) -> imp::RunReport {
+fn run_text_kernel(text: &str, feeds: &[(&str, Tensor)], tolerance: f64) -> imp::RunReport {
     let parsed = imp_dfg::textfmt::parse(text).expect("parses");
-    let options = CompileOptions { ranges: parsed.ranges.clone(), ..Default::default() };
+    let options = CompileOptions {
+        ranges: parsed.ranges.clone(),
+        ..Default::default()
+    };
     let kernel = imp::compile(&parsed.graph, &options).expect("compiles");
 
-    let inputs: HashMap<String, Tensor> =
-        feeds.iter().map(|(n, t)| ((*n).to_string(), t.clone())).collect();
+    let inputs: HashMap<String, Tensor> = feeds
+        .iter()
+        .map(|(n, t)| ((*n).to_string(), t.clone()))
+        .collect();
     let mut machine = Machine::new(SimConfig::functional());
     let report = machine.run(&kernel, &inputs).expect("runs");
 
@@ -39,7 +40,10 @@ fn run_text_kernel(
 }
 
 fn load(name: &str) -> String {
-    let path = format!("{}/../../examples/kernels/{name}", env!("CARGO_MANIFEST_DIR"));
+    let path = format!(
+        "{}/../../examples/kernels/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    );
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
 }
 
@@ -63,7 +67,9 @@ fn softplus_kernel_file() {
 #[test]
 fn l2norm_kernel_file() {
     let text = load("l2norm.imp").replace("[8, 1024]", "[8, 40]");
-    let v = Tensor::from_fn(imp::Shape::new(vec![8, 40]), |i| ((i % 9) as f64) / 8.0 - 0.5);
+    let v = Tensor::from_fn(imp::Shape::new(vec![8, 40]), |i| {
+        ((i % 9) as f64) / 8.0 - 0.5
+    });
     let report = run_text_kernel(&text, &[("v", v)], 0.5);
     // The total is a cross-instance reduction through the router adders.
     assert!(report.noc.reduction_adds > 0 || report.rounds == 1);
@@ -92,5 +98,8 @@ fn inline_kernel_with_variables() {
 fn parse_errors_are_reported_with_lines() {
     let err = imp_dfg::textfmt::parse("placeholder x [8]\nfrobnicate y x\n").unwrap_err();
     let message = err.to_string();
-    assert!(message.contains("line 2") && message.contains("frobnicate"), "{message}");
+    assert!(
+        message.contains("line 2") && message.contains("frobnicate"),
+        "{message}"
+    );
 }

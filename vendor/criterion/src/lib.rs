@@ -1,0 +1,202 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access and no crates.io cache, so
+//! this workspace vendors the small slice of criterion's API its benches
+//! use: `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `sample_size`, `BenchmarkId::from_parameter`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//! Statistics are a plain mean over timed batches — adequate for the
+//! coarse "keep the harness usable" measurements these benches exist for.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// A benchmark identifier (display-only in this stub).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from one parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// An id from a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly (brief warm-up, then timed batches) and records
+    /// the mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-call cost estimate.
+        let warmup_start = Instant::now();
+        let mut warmup_calls = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(20) && warmup_calls < 1_000_000 {
+            std::hint::black_box(f());
+            warmup_calls += 1;
+        }
+        let per_call = warmup_start.elapsed().as_secs_f64() / warmup_calls.max(1) as f64;
+        // Aim for ~100 ms of measurement, bounded to keep suites quick.
+        let target_calls = ((0.1 / per_call.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..target_calls {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.iterations = target_calls;
+        self.mean_ns = elapsed.as_nanos() as f64 / target_calls as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes batches by time.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        println!(
+            "{}/{}: {:.1} ns/iter ({} iterations)",
+            self.name, id, bencher.mean_ns, bencher.iterations
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        println!(
+            "{}/{}: {:.1} ns/iter ({} iterations)",
+            self.name, id, bencher.mean_ns, bencher.iterations
+        );
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark harness.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        println!(
+            "{name}: {:.1} ns/iter ({} iterations)",
+            bencher.mean_ns, bencher.iterations
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` from group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.iterations > 0);
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &3, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+}

@@ -20,7 +20,7 @@
 //! within golden tolerance with monotone runtime, and fail-fast never
 //! returns silently corrupted data.
 
-use imp_bench::{emit, header};
+use imp_bench::{emit, emit_json, header};
 use imp_compiler::{compile, ChipCapacity, CompileOptions, OptPolicy};
 use imp_dfg::{GraphBuilder, NodeId, Shape, Tensor};
 use imp_rram::FaultRates;
@@ -116,6 +116,7 @@ fn main() {
             .expect("silent runs always complete");
         let silent_err = mean_err(&silent, &golden, y);
         emit("fault_sweep", "silent_mean_err", rate, silent_err);
+        emit_json("fault_sweep", "silent_cells", rate, &silent, silent_err);
 
         let failfast = Machine::new(config(Some(FaultConfig::new(rates, FaultPolicy::FailFast))))
             .run(&kernel, &inputs);
@@ -149,6 +150,7 @@ fn main() {
             .expect("remap must complete at ≤5% faulty arrays");
         let remap_err = mean_err(&remap, &golden, y);
         emit("fault_sweep", "remap_mean_err", rate, remap_err);
+        emit_json("fault_sweep", "remap_cells", rate, &remap, remap_err);
         emit("fault_sweep", "remap_cycles", rate, remap.cycles as f64);
         emit(
             "fault_sweep",
@@ -197,6 +199,7 @@ fn main() {
             "a clean retry attempt must reproduce golden outputs (mean err {err})"
         );
         emit("fault_sweep", "retry_mean_err", rate, err);
+        emit_json("fault_sweep", "retry_adc", rate, &retry, err);
         emit(
             "fault_sweep",
             "retry_attempts",

@@ -42,6 +42,49 @@ pub fn emit(experiment: &str, series: &str, x: impl std::fmt::Display, y: f64) {
     println!("{experiment},{series},{x},{y:.6e}");
 }
 
+/// Emits one machine-readable JSON record for a simulated run: the sweep
+/// coordinates plus the full [`imp_sim::NocStats`] counter set (including the
+/// transport-reliability counters), so degradation curves can be consumed
+/// without parsing the human-readable tables. One object per line
+/// (JSON-lines); hand-rolled because the build environment is offline and
+/// serde is not vendored.
+pub fn emit_json(
+    experiment: &str,
+    series: &str,
+    x: impl std::fmt::Display,
+    report: &RunReport,
+    mean_err: f64,
+) {
+    let noc = &report.noc;
+    println!(
+        concat!(
+            "{{\"experiment\":\"{}\",\"series\":\"{}\",\"x\":{},",
+            "\"cycles\":{},\"transport_overhead_cycles\":{},\"mean_err\":{:.6e},",
+            "\"noc\":{{\"messages\":{},\"bytes\":{},\"flit_hops\":{},",
+            "\"router_traversals\":{},\"reduction_adds\":{},\"contention_cycles\":{},",
+            "\"crc_failures\":{},\"retransmissions\":{},\"rerouted_messages\":{},",
+            "\"retransmit_cycles\":{},\"dropped_messages\":{}}}}}"
+        ),
+        experiment,
+        series,
+        x,
+        report.cycles,
+        report.transport_overhead_cycles,
+        mean_err,
+        noc.messages,
+        noc.bytes,
+        noc.flit_hops,
+        noc.router_traversals,
+        noc.reduction_adds,
+        noc.contention_cycles,
+        noc.crc_failures,
+        noc.retransmissions,
+        noc.rerouted_messages,
+        noc.retransmit_cycles,
+        noc.dropped_messages,
+    );
+}
+
 /// IMP kernel wall-clock time at `instances` via the static model (§6's
 /// note: latencies are deterministic and statically scheduled, so the
 /// analytical replay is exact for the array pipeline).

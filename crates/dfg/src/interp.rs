@@ -46,6 +46,13 @@ impl<'g> Interpreter<'g> {
         self.variables.get(name)
     }
 
+    /// Overwrites a variable's value, e.g. to mirror an external
+    /// execution's evolved persistent state before a golden replay.
+    pub fn set_variable(&mut self, name: &str, value: Tensor) -> &mut Self {
+        self.variables.insert(name.to_string(), value);
+        self
+    }
+
     /// Evaluates the whole graph and returns the fetched outputs.
     ///
     /// # Errors

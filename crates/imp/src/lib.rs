@@ -53,7 +53,9 @@
 
 mod session;
 
-pub use session::{Error, Session, SessionOutputs};
+pub use session::{
+    Error, FailureContext, OutputDivergence, Session, SessionOutputs, ShadowConfig, ShadowReport,
+};
 
 pub use imp_baselines as baselines;
 pub use imp_compiler as compiler;
@@ -67,7 +69,8 @@ pub use imp_isa as isa;
 pub use imp_noc as noc;
 pub use imp_rram::{AnalogSpec, FaultMap, FaultRates, Fixed, QFormat};
 pub use imp_sim::{
-    FaultConfig, FaultEvent, FaultKind, FaultPolicy, FaultSite, Machine, RunReport, SimConfig,
-    SimError,
+    FaultConfig, FaultEvent, FaultKind, FaultPolicy, FaultSite, LinkFaultRates, Machine, RunReport,
+    SimConfig, SimError, TransportConfig, TransportEvent, TransportFaultKind, TransportPolicy,
+    WatchdogConfig,
 };
 pub use imp_workloads as workloads;

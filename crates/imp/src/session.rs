@@ -1,10 +1,34 @@
 //! The end-to-end session: graph → compiled kernel → simulated chip.
 
+use imp_compiler::module::OutputLoc;
 use imp_compiler::{perf, CompileError, CompileOptions, CompiledKernel, OptPolicy};
+use imp_dfg::interp::Interpreter;
 use imp_dfg::{DfgError, Graph, NodeId, Op, Tensor};
 use imp_sim::{Machine, RunReport, SimConfig, SimError};
 use std::collections::HashMap;
 use std::fmt;
+
+/// Placement context for a simulator failure: which instruction block the
+/// fault was localized to and — when the compiled layout records one —
+/// which fetched graph node that block produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureContext {
+    /// Instruction block the failing site belongs to.
+    pub ib: usize,
+    /// Fetched node whose output rows live in that block, if any (interior
+    /// blocks feed other blocks rather than fetched outputs).
+    pub node: Option<NodeId>,
+}
+
+impl fmt::Display for FailureContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "instruction block {}", self.ib)?;
+        if let Some(node) = self.node {
+            write!(f, " (produces fetched node {node})")?;
+        }
+        Ok(())
+    }
+}
 
 /// Unified error for session operations.
 #[derive(Debug)]
@@ -13,8 +37,18 @@ pub enum Error {
     Dfg(DfgError),
     /// Compilation failure.
     Compile(CompileError),
-    /// Simulated-execution failure.
-    Sim(SimError),
+    /// Simulated-execution failure, annotated with the failing graph
+    /// node / instruction block when the simulator localized the fault.
+    Sim {
+        /// Where in the compiled kernel the failure was localized, when
+        /// the underlying error carries a fault site.
+        context: Option<FailureContext>,
+        /// The underlying simulator error.
+        source: SimError,
+    },
+    /// Shadow validation detected that the chip run diverged from the
+    /// golden interpreter beyond the configured tolerance.
+    ShadowDivergence(ShadowReport),
 }
 
 impl fmt::Display for Error {
@@ -22,7 +56,17 @@ impl fmt::Display for Error {
         match self {
             Error::Dfg(e) => write!(f, "graph error: {e}"),
             Error::Compile(e) => write!(f, "compile error: {e}"),
-            Error::Sim(e) => write!(f, "simulation error: {e}"),
+            Error::Sim {
+                context: Some(ctx),
+                source,
+            } => write!(f, "simulation error at {ctx}: {source}"),
+            Error::Sim {
+                context: None,
+                source,
+            } => write!(f, "simulation error: {source}"),
+            Error::ShadowDivergence(report) => {
+                write!(f, "shadow validation failed: {report}")
+            }
         }
     }
 }
@@ -32,7 +76,8 @@ impl std::error::Error for Error {
         match self {
             Error::Dfg(e) => Some(e),
             Error::Compile(e) => Some(e),
-            Error::Sim(e) => Some(e),
+            Error::Sim { source, .. } => Some(source),
+            Error::ShadowDivergence(_) => None,
         }
     }
 }
@@ -51,7 +96,121 @@ impl From<CompileError> for Error {
 
 impl From<SimError> for Error {
     fn from(e: SimError) -> Self {
-        Error::Sim(e)
+        Error::Sim {
+            context: None,
+            source: e,
+        }
+    }
+}
+
+/// Configuration for the opt-in shadow-validation mode
+/// ([`Session::enable_shadow_validation`]).
+///
+/// Tolerance is expressed in ULPs of the kernel's fixed-point format (one
+/// ULP = [`QFormat::epsilon`]): fixed-point evaluation legitimately
+/// diverges from the f64 golden interpreter by rounding per operation, so
+/// the threshold must sit above the kernel's accumulated rounding error
+/// while staying below the damage a silent fault does. The default of
+/// 4096 ULPs (2⁻⁴ absolute in Q16.16) clears the worst legitimate error
+/// of the LUT/Newton–Raphson transcendental kernels; short arithmetic
+/// chains can use a far tighter bound (tens of ULPs).
+///
+/// [`QFormat::epsilon`]: imp_rram::QFormat::epsilon
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShadowConfig {
+    /// Allowed per-element |chip − golden| divergence, in ULPs of the
+    /// kernel's fixed-point format.
+    pub tolerance_ulps: f64,
+}
+
+impl ShadowConfig {
+    /// Tolerance of `tolerance_ulps` format ULPs per output element.
+    pub fn with_tolerance_ulps(tolerance_ulps: f64) -> Self {
+        ShadowConfig { tolerance_ulps }
+    }
+}
+
+impl Default for ShadowConfig {
+    fn default() -> Self {
+        ShadowConfig {
+            tolerance_ulps: 4096.0,
+        }
+    }
+}
+
+/// Divergence of one fetched output between the chip run and the golden
+/// interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputDivergence {
+    /// The fetched node.
+    pub node: NodeId,
+    /// Total elements compared.
+    pub elements: usize,
+    /// Elements whose divergence exceeded the tolerance.
+    pub diverging: usize,
+    /// Largest per-element divergence observed, in format ULPs.
+    pub max_ulps: f64,
+    /// Index of the worst element.
+    pub worst_index: usize,
+    /// Chip value at the worst element.
+    pub got: f64,
+    /// Golden-interpreter value at the worst element.
+    pub expected: f64,
+}
+
+impl fmt::Display for OutputDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node {}: {}/{} element(s) beyond tolerance, worst at [{}]: chip {} vs golden {} ({:.0} ULPs)",
+            self.node, self.diverging, self.elements, self.worst_index, self.got, self.expected, self.max_ulps
+        )
+    }
+}
+
+/// Per-output comparison of a chip run against the golden interpreter.
+///
+/// Produced on every shadow-validated [`Session::run`]: attached to
+/// [`SessionOutputs`] when all outputs agree within tolerance, carried by
+/// [`Error::ShadowDivergence`] when any element is out of bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShadowReport {
+    /// Tolerance the comparison used, in format ULPs.
+    pub tolerance_ulps: f64,
+    /// One entry per fetched output, in kernel output order.
+    pub outputs: Vec<OutputDivergence>,
+}
+
+impl ShadowReport {
+    /// True when any output element diverged beyond the tolerance.
+    pub fn diverged(&self) -> bool {
+        self.outputs.iter().any(|o| o.diverging > 0)
+    }
+
+    /// Largest per-element divergence across all outputs, in format ULPs.
+    pub fn worst_ulps(&self) -> f64 {
+        self.outputs.iter().fold(0.0, |acc, o| acc.max(o.max_ulps))
+    }
+}
+
+impl fmt::Display for ShadowReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let diverging: Vec<&OutputDivergence> =
+            self.outputs.iter().filter(|o| o.diverging > 0).collect();
+        write!(
+            f,
+            "{} of {} output(s) diverged beyond {:.0} ULPs",
+            diverging.len(),
+            self.outputs.len(),
+            self.tolerance_ulps
+        )?;
+        if let Some(worst) = diverging
+            .iter()
+            .max_by(|a, b| a.max_ulps.total_cmp(&b.max_ulps))
+        {
+            write!(f, "; worst: {worst}")?;
+        }
+        Ok(())
     }
 }
 
@@ -59,6 +218,7 @@ impl From<SimError> for Error {
 #[derive(Debug, Clone)]
 pub struct SessionOutputs {
     report: RunReport,
+    shadow: Option<ShadowReport>,
 }
 
 impl SessionOutputs {
@@ -71,6 +231,13 @@ impl SessionOutputs {
     pub fn report(&self) -> &RunReport {
         &self.report
     }
+
+    /// The shadow-validation comparison, when the session ran with
+    /// [`Session::enable_shadow_validation`]. A present report implies the
+    /// run passed (divergence is an error).
+    pub fn shadow_report(&self) -> Option<&ShadowReport> {
+        self.shadow.as_ref()
+    }
 }
 
 /// A compiled graph bound to a simulated chip, with persistent variable
@@ -81,6 +248,7 @@ pub struct Session {
     kernel: CompiledKernel,
     machine: Machine,
     variables: HashMap<String, Tensor>,
+    shadow: Option<ShadowConfig>,
 }
 
 impl Session {
@@ -159,7 +327,28 @@ impl Session {
             kernel,
             machine: Machine::new(config),
             variables,
+            shadow: None,
         }
+    }
+
+    /// Turns on end-to-end shadow validation: every subsequent
+    /// [`Session::run`] replays the same feeds (and the pre-run variable
+    /// state) through the [`Interpreter`] golden reference and compares
+    /// each fetched output element-wise. Divergence beyond the configured
+    /// tolerance fails the run with [`Error::ShadowDivergence`] *before*
+    /// variable write-back, so corrupted updates never poison session
+    /// state.
+    ///
+    /// This is the only detector for faults the transport layer accepts
+    /// silently — a `Silent` fault policy, or a bad in-tree reduction
+    /// adder (which re-seals the CRC after corrupting the partial sum).
+    pub fn enable_shadow_validation(&mut self, config: ShadowConfig) {
+        self.shadow = Some(config);
+    }
+
+    /// Turns shadow validation back off.
+    pub fn disable_shadow_validation(&mut self) {
+        self.shadow = None;
     }
 
     /// The compiled kernel.
@@ -187,17 +376,114 @@ impl Session {
     /// supplied from (and written back to) the session's persistent state.
     ///
     /// # Errors
-    /// Missing feeds, ill-shaped inputs or simulated-execution faults.
+    /// Missing feeds, ill-shaped inputs, simulated-execution faults
+    /// (annotated with the failing instruction block / graph node when the
+    /// simulator localized them), or — with shadow validation enabled —
+    /// divergence from the golden interpreter.
     pub fn run(&mut self, feeds: &[(&str, Tensor)]) -> Result<SessionOutputs, Error> {
         let mut inputs: HashMap<String, Tensor> = self.variables.clone();
         for (name, tensor) in feeds {
             inputs.insert((*name).to_string(), tensor.clone());
         }
-        let report = self.machine.run(&self.kernel, &inputs)?;
+        let report = self
+            .machine
+            .run(&self.kernel, &inputs)
+            .map_err(|e| self.annotate_sim_error(e))?;
+        let shadow = match self.shadow {
+            Some(config) => {
+                let report_card = self.shadow_check(config, feeds, &report)?;
+                if report_card.diverged() {
+                    return Err(Error::ShadowDivergence(report_card));
+                }
+                Some(report_card)
+            }
+            None => None,
+        };
+        // Write-back happens only after validation: a diverged run must
+        // not advance the session's persistent variable state.
         for (name, value) in &report.variable_updates {
             self.variables.insert(name.clone(), value.clone());
         }
-        Ok(SessionOutputs { report })
+        Ok(SessionOutputs { report, shadow })
+    }
+
+    /// Wraps a [`SimError`] with the failing instruction block and — via
+    /// the compiled output layout — the fetched graph node it produces.
+    fn annotate_sim_error(&self, source: SimError) -> Error {
+        let ib = match &source {
+            SimError::Array {
+                site: Some(site), ..
+            } => Some(site.ib),
+            SimError::Faults(events) => events.first().map(|e| e.site.ib),
+            _ => None,
+        };
+        let context = ib.map(|ib| FailureContext {
+            ib,
+            node: self.kernel.outputs.iter().find_map(|out| {
+                out.locs
+                    .iter()
+                    .any(|loc| matches!(loc, OutputLoc::Row { ib: row_ib, .. } if *row_ib == ib))
+                    .then_some(out.node)
+            }),
+        });
+        Error::Sim { context, source }
+    }
+
+    /// Replays the run through the golden interpreter and compares every
+    /// fetched output element-wise in format ULPs.
+    fn shadow_check(
+        &self,
+        config: ShadowConfig,
+        feeds: &[(&str, Tensor)],
+        report: &RunReport,
+    ) -> Result<ShadowReport, Error> {
+        let mut interp = Interpreter::new(&self.graph);
+        // The interpreter seeds variables at their *initial* values; sync
+        // it to the session's evolved pre-run state instead.
+        for (name, value) in &self.variables {
+            interp.set_variable(name, value.clone());
+        }
+        for (name, tensor) in feeds {
+            interp.feed(name, tensor.clone());
+        }
+        let golden = interp.run()?;
+        let ulp = self.kernel.format.epsilon();
+        let outputs = self
+            .kernel
+            .outputs
+            .iter()
+            .map(|out| {
+                let node = out.node;
+                let got = &report.outputs[&node];
+                let want = &golden[&node];
+                let mut divergence = OutputDivergence {
+                    node,
+                    elements: got.data().len(),
+                    diverging: 0,
+                    max_ulps: 0.0,
+                    worst_index: 0,
+                    got: f64::NAN,
+                    expected: f64::NAN,
+                };
+                for (i, (&a, &b)) in got.data().iter().zip(want.data()).enumerate() {
+                    let ulps = (a - b).abs() / ulp;
+                    if ulps > config.tolerance_ulps {
+                        divergence.diverging += 1;
+                    }
+                    if ulps > divergence.max_ulps || i == 0 {
+                        divergence.max_ulps = ulps;
+                        divergence.worst_index = i;
+                        divergence.got = a;
+                        divergence.expected = b;
+                    }
+                }
+                divergence
+            })
+            .collect();
+        Ok(ShadowReport {
+            tolerance_ulps: config.tolerance_ulps,
+            outputs,
+        })
     }
 }
 
@@ -227,7 +513,61 @@ mod tests {
         let x = g.placeholder("x", Shape::vector(4)).unwrap();
         g.fetch(x);
         let mut session = Session::new(g.finish(), CompileOptions::default()).unwrap();
-        assert!(matches!(session.run(&[]), Err(Error::Sim(_))));
+        let err = session.run(&[]).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Sim {
+                context: None,
+                source: SimError::MissingInput(_)
+            }
+        ));
+    }
+
+    #[test]
+    fn shadow_validation_passes_a_clean_run_and_reports() {
+        let mut g = GraphBuilder::new();
+        let x = g.placeholder("x", Shape::vector(8)).unwrap();
+        let sq = g.square(x).unwrap();
+        let one = g.scalar(1.0);
+        let y = g.add(sq, one).unwrap();
+        g.fetch(y);
+        let mut session = Session::new(g.finish(), CompileOptions::default()).unwrap();
+        session.enable_shadow_validation(ShadowConfig::default());
+        let out = session
+            .run(&[("x", Tensor::from_fn(Shape::vector(8), |i| i as f64 / 4.0))])
+            .unwrap();
+        let shadow = out.shadow_report().expect("shadow report attached");
+        assert!(!shadow.diverged());
+        assert_eq!(shadow.outputs.len(), 1);
+        assert_eq!(shadow.outputs[0].node, y);
+        // Fixed-point rounding on x² + 1 stays within a few ULPs.
+        assert!(shadow.worst_ulps() < 64.0, "worst {}", shadow.worst_ulps());
+        session.disable_shadow_validation();
+        let out = session
+            .run(&[("x", Tensor::from_fn(Shape::vector(8), |i| i as f64 / 4.0))])
+            .unwrap();
+        assert!(out.shadow_report().is_none());
+    }
+
+    #[test]
+    fn shadow_divergence_blocks_variable_writeback() {
+        // An impossible tolerance turns legitimate fixed-point rounding
+        // into "divergence" — good enough to observe the write-back gate.
+        let mut g = GraphBuilder::new();
+        let acc = g.variable("acc", Tensor::zeros(Shape::vector(8))).unwrap();
+        let x = g.placeholder("x", Shape::vector(8)).unwrap();
+        let upd = g.assign_add(acc, x).unwrap();
+        g.fetch(upd);
+        let mut session = Session::new(g.finish(), CompileOptions::default()).unwrap();
+        session.enable_shadow_validation(ShadowConfig::with_tolerance_ulps(-1.0));
+        let feed = Tensor::from_fn(Shape::vector(8), |i| i as f64 / 8.0);
+        let err = session.run(&[("x", feed)]).unwrap_err();
+        assert!(matches!(err, Error::ShadowDivergence(ref r) if r.diverged()));
+        let acc_value = session.variable("acc").unwrap();
+        assert!(
+            acc_value.data().iter().all(|&v| v == 0.0),
+            "diverged run must not advance variables"
+        );
     }
 
     #[test]

@@ -15,7 +15,12 @@
 //!   it is next free, messages serialize into flits, and delivery times
 //!   account for router pipeline, link traversal and queueing;
 //! * in-network reduction ([`Network::reduce`]) that models the adders in
-//!   the routers summing partial values as they flow toward the root.
+//!   the routers summing partial values as they flow toward the root;
+//! * a transport-reliability layer ([`LinkFaultMap`], [`TransportPolicy`],
+//!   [`Network::transfer`], [`Network::reduce_transfer`]) modeling flaky
+//!   and dead links, stuck routers and faulty reduction adders, with
+//!   per-message CRC detection and ack/retransmit or sibling-detour
+//!   recovery.
 //!
 //! Times are in **network cycles** (2 GHz); helpers convert to the 20 MHz
 //! array clock (100 network cycles per array cycle).
@@ -36,9 +41,14 @@
 
 mod network;
 mod topology;
+mod transport;
 
 pub use network::{Network, NocConfig, NocStats};
 pub use topology::{HTreeTopology, LinkId};
+pub use transport::{
+    crc32, Delivery, LinkFaultMap, LinkFaultRates, TransportConfig, TransportEvent,
+    TransportFaultKind, TransportPolicy, REROUTE_RETRANSMIT_MAX,
+};
 
 /// Network clock frequency in hertz.
 pub const NETWORK_CLOCK_HZ: f64 = 2.0e9;

@@ -1,7 +1,12 @@
-//! Contention-aware message timing over the H-tree.
+//! Contention-aware message timing over the H-tree, with an optional
+//! transport-reliability layer (CRC detection + recovery policies).
 
 use crate::topology::{HTreeTopology, LinkId};
-use std::collections::HashMap;
+use crate::transport::{
+    crc32, Delivery, LinkFaultMap, TransportEvent, TransportFaultKind, TransportPolicy,
+    REROUTE_RETRANSMIT_MAX,
+};
+use std::collections::{BTreeSet, HashMap};
 
 /// Network timing parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +47,19 @@ pub struct NocStats {
     pub reduction_adds: u64,
     /// Total cycles messages spent queued behind busy links.
     pub contention_cycles: u64,
+    /// Per-message CRC checks that failed at the destination.
+    pub crc_failures: u64,
+    /// Retransmissions issued (beyond each message's initial attempt).
+    pub retransmissions: u64,
+    /// Messages that detoured around a dead link via a sibling subtree.
+    pub rerouted_messages: u64,
+    /// Network cycles charged to transport recovery: retransmission
+    /// serialization + backoff, and lateral detour hops. Deterministic
+    /// (contention-independent) so degradation curves are monotone in the
+    /// injected fault rate.
+    pub retransmit_cycles: u64,
+    /// Messages dropped on dead links under [`TransportPolicy::Silent`].
+    pub dropped_messages: u64,
 }
 
 /// The chip network: topology + per-link occupancy for contention modeling.
@@ -56,6 +74,17 @@ pub struct Network {
     config: NocConfig,
     link_free: HashMap<LinkId, u64>,
     stats: NocStats,
+    transport: Option<TransportState>,
+}
+
+/// Reliability-layer state attached to a [`Network`].
+#[derive(Debug, Clone)]
+struct TransportState {
+    map: LinkFaultMap,
+    policy: TransportPolicy,
+    /// Next message id; assigned once per transfer so retransmissions of
+    /// the same message share fault-sampling identity.
+    next_msg: u64,
 }
 
 impl Network {
@@ -66,7 +95,29 @@ impl Network {
             config,
             link_free: HashMap::new(),
             stats: NocStats::default(),
+            transport: None,
         }
+    }
+
+    /// Attaches a transport fault model. Without this call (the default),
+    /// [`Network::transfer`] and [`Network::reduce_transfer`] behave
+    /// exactly like the loss-free [`Network::send`] / [`Network::reduce`].
+    pub fn set_transport(&mut self, map: LinkFaultMap, policy: TransportPolicy) {
+        self.transport = Some(TransportState {
+            map,
+            policy,
+            next_msg: 0,
+        });
+    }
+
+    /// The active transport policy, if a fault model is attached.
+    pub fn transport_policy(&self) -> Option<TransportPolicy> {
+        self.transport.as_ref().map(|t| t.policy)
+    }
+
+    /// The attached fault map, if any.
+    pub fn fault_map(&self) -> Option<&LinkFaultMap> {
+        self.transport.as_ref().map(|t| &t.map)
     }
 
     /// The topology.
@@ -109,8 +160,17 @@ impl Network {
             self.stats.router_traversals += 1;
             return now + self.config.router_latency + flits;
         }
+        let head_time = self.traverse(&route, flits, now);
+        // Tail flit arrives `flits` cycles after the head.
+        head_time + flits
+    }
+
+    /// Walks the head flit across `route`, reserving link occupancy and
+    /// charging contention. Returns the head arrival time at the
+    /// destination (tail arrives `flits` cycles later).
+    fn traverse(&mut self, route: &[LinkId], flits: u64, now: u64) -> u64 {
         let mut head_time = now;
-        for link in &route {
+        for link in route {
             let free = self.link_free.get(link).copied().unwrap_or(0);
             let start = head_time.max(free);
             self.stats.contention_cycles += start - head_time;
@@ -121,8 +181,7 @@ impl Network {
             self.stats.router_traversals += 1;
         }
         self.stats.flit_hops += flits * route.len() as u64;
-        // Tail flit arrives `flits` cycles after the head.
-        head_time + flits
+        head_time
     }
 
     /// Performs an in-network reduction over `tiles`, delivering the result
@@ -137,6 +196,16 @@ impl Network {
         if tiles.is_empty() {
             return now;
         }
+        let t = self.reduce_timing(tiles, dst_tile, bytes, now);
+        self.stats.messages += 1;
+        self.stats.bytes += bytes as u64;
+        t
+    }
+
+    /// The timing/occupancy core of [`Network::reduce`], without the
+    /// per-reduction message/byte accounting (so retransmission attempts
+    /// can replay it without inflating the message count).
+    fn reduce_timing(&mut self, tiles: &[usize], dst_tile: usize, bytes: usize, now: u64) -> u64 {
         let flits = self.flits(bytes);
         let links = self.topology.reduction_links(tiles);
         let top_level = tiles.iter().skip(1).fold(0u8, |acc, &t| {
@@ -185,9 +254,472 @@ impl Network {
             // a representative tile at the subtree root.
             self.send(tiles[0], dst_tile, bytes, busiest)
         };
+        down
+    }
+}
+
+/// Transport-reliability layer: payload-carrying transfers with CRC
+/// detection and per-policy recovery. With no fault model attached these
+/// reduce byte-for-byte and cycle-for-cycle to [`Network::send`] /
+/// [`Network::reduce`].
+impl Network {
+    fn link_dead(&self, link: LinkId) -> bool {
+        self.transport
+            .as_ref()
+            .is_some_and(|t| t.map.link_dead(link))
+    }
+
+    fn flipped_links(&self, route: &[LinkId], msg: u64, attempt: u32) -> Vec<LinkId> {
+        match &self.transport {
+            Some(t) => route
+                .iter()
+                .copied()
+                .filter(|&l| t.map.flips_message(msg, attempt, l))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn next_msg_id(&mut self) -> (TransportPolicy, u64) {
+        let st = self.transport.as_mut().expect("transport attached");
+        let id = st.next_msg;
+        st.next_msg += 1;
+        (st.policy, id)
+    }
+
+    /// Applies one deterministic bit flip per faulty link to `data`.
+    fn corrupt(&self, data: &mut [i32], msg: u64, attempt: u32, faults: &[LinkId]) {
+        if let Some(t) = &self.transport {
+            for (k, _) in faults.iter().enumerate() {
+                t.map
+                    .corrupt_payload(data, msg, (u64::from(attempt) << 8) | k as u64);
+            }
+        }
+    }
+
+    /// Charges the deterministic recovery cost of one failed attempt
+    /// (re-serialization + backoff) so degradation curves stay monotone in
+    /// the injected rate regardless of contention noise.
+    fn charge_retry(&mut self, serialization: u64, backoff: u64) {
+        self.stats.retransmissions += 1;
+        self.stats.retransmit_cycles = self
+            .stats
+            .retransmit_cycles
+            .saturating_add(serialization + backoff);
+    }
+
+    /// A route over a dead link under AckRetransmit can never succeed:
+    /// charge the whole budget (or run to the deadline) arithmetically and
+    /// return the terminal event.
+    #[allow(clippy::too_many_arguments)]
+    fn exhaust_on_dead(
+        &mut self,
+        hops: u64,
+        flits: u64,
+        max: u32,
+        backoff: u64,
+        src: usize,
+        dst: usize,
+        now: u64,
+        deadline: Option<u64>,
+    ) -> TransportEvent {
+        let per_attempt =
+            (hops * (self.config.router_latency + self.config.link_latency) + flits + backoff)
+                .max(1);
+        if let Some(dl) = deadline {
+            let budget = dl.saturating_sub(now) / per_attempt + 1;
+            if budget < u64::from(max).saturating_add(1) {
+                let spent = budget.saturating_mul(per_attempt);
+                self.stats.retransmissions += budget;
+                self.stats.retransmit_cycles = self.stats.retransmit_cycles.saturating_add(spent);
+                return TransportEvent {
+                    kind: TransportFaultKind::DeadlineExceeded {
+                        spent_net_cycles: spent,
+                    },
+                    src,
+                    dst,
+                    net_time: now.saturating_add(spent),
+                };
+            }
+        }
+        let attempts = u64::from(max).saturating_add(1);
+        let spent = attempts.saturating_mul(per_attempt);
+        self.stats.retransmissions += u64::from(max);
+        self.stats.retransmit_cycles = self.stats.retransmit_cycles.saturating_add(spent);
+        TransportEvent {
+            kind: TransportFaultKind::RetransmitExhausted {
+                attempts: attempts.min(u64::from(u32::MAX)) as u32,
+            },
+            src,
+            dst,
+            net_time: now.saturating_add(spent),
+        }
+    }
+
+    /// Resolves dead links on `route` per the active policy. On success
+    /// returns the effective route plus the number of sibling detours
+    /// taken; `Ok(None)` means the message was silently dropped (events
+    /// already pushed); `Err` is fatal.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_dead_links(
+        &mut self,
+        route: &[LinkId],
+        policy: TransportPolicy,
+        flits: u64,
+        src: usize,
+        dst: usize,
+        now: u64,
+        deadline: Option<u64>,
+        events: &mut Vec<TransportEvent>,
+    ) -> Result<Option<(Vec<LinkId>, u64)>, TransportEvent> {
+        let mut eff = Vec::with_capacity(route.len());
+        let mut detours = 0u64;
+        for &link in route {
+            if !self.link_dead(link) {
+                eff.push(link);
+                continue;
+            }
+            match policy {
+                TransportPolicy::Silent => {
+                    self.stats.dropped_messages += 1;
+                    events.push(TransportEvent {
+                        kind: TransportFaultKind::Dropped { link },
+                        src,
+                        dst,
+                        net_time: now,
+                    });
+                    return Ok(None);
+                }
+                TransportPolicy::FailFast => {
+                    return Err(TransportEvent {
+                        kind: TransportFaultKind::DeadLink { link },
+                        src,
+                        dst,
+                        net_time: now,
+                    });
+                }
+                TransportPolicy::AckRetransmit { max, backoff } => {
+                    return Err(self.exhaust_on_dead(
+                        route.len() as u64,
+                        flits,
+                        max,
+                        backoff,
+                        src,
+                        dst,
+                        now,
+                        deadline,
+                    ));
+                }
+                TransportPolicy::Reroute => {
+                    // Detour through the sibling node's subtree: one extra
+                    // lateral hop, using the sibling's copy of the link.
+                    let sibling = LinkId {
+                        level: link.level,
+                        node: link.node ^ 1,
+                        up: link.up,
+                    };
+                    if self.link_dead(sibling) {
+                        return Err(TransportEvent {
+                            kind: TransportFaultKind::DeadLink { link },
+                            src,
+                            dst,
+                            net_time: now,
+                        });
+                    }
+                    detours += 1;
+                    eff.push(sibling);
+                }
+            }
+        }
+        if detours > 0 {
+            self.stats.rerouted_messages += 1;
+            self.stats.retransmit_cycles = self
+                .stats
+                .retransmit_cycles
+                .saturating_add(detours * (self.config.router_latency + self.config.link_latency));
+        }
+        Ok(Some((eff, detours)))
+    }
+
+    /// The CRC retransmission budget for a policy (`None` = no retries).
+    fn retry_budget(policy: TransportPolicy) -> Option<(u32, u64)> {
+        match policy {
+            TransportPolicy::AckRetransmit { max, backoff } => Some((max, backoff)),
+            TransportPolicy::Reroute => Some((REROUTE_RETRANSMIT_MAX, 0)),
+            _ => None,
+        }
+    }
+
+    /// Sends `payload` from tile `src` to tile `dst` through the fault
+    /// model, injecting at `now` (network cycles).
+    ///
+    /// Each attempt computes the source CRC, walks the route (corrupting
+    /// per the fault map), and re-checks the CRC at the destination;
+    /// recovery follows the attached [`TransportPolicy`]. `bytes` is the
+    /// modeled wire size (it may exceed `payload` — e.g. headers), keeping
+    /// timing identical to [`Network::send`] for the same byte count.
+    /// `deadline` bounds retransmission storms (network cycles).
+    ///
+    /// Without an attached fault model this is exactly `send` plus a
+    /// payload copy.
+    pub fn transfer(
+        &mut self,
+        src: usize,
+        dst: usize,
+        payload: &[i32],
+        bytes: usize,
+        now: u64,
+        deadline: Option<u64>,
+    ) -> Result<Delivery, TransportEvent> {
+        if self.transport.is_none() {
+            let time = self.send(src, dst, bytes, now);
+            return Ok(Delivery {
+                time,
+                payload: Some(payload.to_vec()),
+                events: Vec::new(),
+            });
+        }
+        let flits = self.flits(bytes);
         self.stats.messages += 1;
         self.stats.bytes += bytes as u64;
-        down
+        let route = self.topology.route(src, dst);
+        if route.is_empty() {
+            // Local delivery never leaves the tile router: no links, no
+            // transport faults.
+            self.stats.router_traversals += 1;
+            return Ok(Delivery {
+                time: now + self.config.router_latency + flits,
+                payload: Some(payload.to_vec()),
+                events: Vec::new(),
+            });
+        }
+        let (policy, msg) = self.next_msg_id();
+        let mut events = Vec::new();
+        let Some((eff_route, detours)) =
+            self.resolve_dead_links(&route, policy, flits, src, dst, now, deadline, &mut events)?
+        else {
+            return Ok(Delivery {
+                time: now,
+                payload: None,
+                events,
+            });
+        };
+        let lateral = detours * (self.config.router_latency + self.config.link_latency);
+        let serialization = eff_route.len() as u64
+            * (self.config.router_latency + self.config.link_latency)
+            + flits;
+        let source_crc = crc32(payload);
+        let mut start = now;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let time = self.traverse(&eff_route, flits, start) + flits + lateral;
+            let faults = self.flipped_links(&eff_route, msg, attempt);
+            if faults.is_empty() {
+                debug_assert_eq!(crc32(payload), source_crc);
+                return Ok(Delivery {
+                    time,
+                    payload: Some(payload.to_vec()),
+                    events,
+                });
+            }
+            // The destination recomputes the CRC over what arrived.
+            let mut data = payload.to_vec();
+            self.corrupt(&mut data, msg, attempt, &faults);
+            debug_assert_ne!(crc32(&data), source_crc);
+            self.stats.crc_failures += 1;
+            let event = TransportEvent {
+                kind: TransportFaultKind::CrcMismatch { link: faults[0] },
+                src,
+                dst,
+                net_time: time,
+            };
+            match Self::retry_budget(policy) {
+                None if policy == TransportPolicy::Silent => {
+                    events.push(event);
+                    return Ok(Delivery {
+                        time,
+                        payload: Some(data),
+                        events,
+                    });
+                }
+                None => return Err(event),
+                Some((max, backoff)) => {
+                    if attempt > max {
+                        return Err(TransportEvent {
+                            kind: TransportFaultKind::RetransmitExhausted { attempts: attempt },
+                            src,
+                            dst,
+                            net_time: time,
+                        });
+                    }
+                    self.charge_retry(serialization, backoff);
+                    start = time + backoff;
+                    if let Some(dl) = deadline {
+                        if start > dl {
+                            return Err(TransportEvent {
+                                kind: TransportFaultKind::DeadlineExceeded {
+                                    spent_net_cycles: start - now,
+                                },
+                                src,
+                                dst,
+                                net_time: start,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// In-network reduction of `payload` (the already-summed partials for
+    /// timing purposes; the fabric is modeled as computing the same sums)
+    /// over `tiles`, delivered to `dst_tile`, through the fault model.
+    ///
+    /// CRC failures on the reduction tree's links recover per policy, like
+    /// [`Network::transfer`]. Bad reduction adders corrupt the delivered
+    /// sums **without** any CRC event — the adder recomputes the checksum
+    /// after merging, so only end-to-end validation catches it.
+    pub fn reduce_transfer(
+        &mut self,
+        tiles: &[usize],
+        dst_tile: usize,
+        payload: &[i32],
+        bytes: usize,
+        now: u64,
+        deadline: Option<u64>,
+    ) -> Result<Delivery, TransportEvent> {
+        if self.transport.is_none() || tiles.is_empty() {
+            let time = self.reduce(tiles, dst_tile, bytes, now);
+            return Ok(Delivery {
+                time,
+                payload: Some(payload.to_vec()),
+                events: Vec::new(),
+            });
+        }
+        let flits = self.flits(bytes);
+        self.stats.messages += 1;
+        self.stats.bytes += bytes as u64;
+        let links = self.topology.reduction_links(tiles);
+        let (policy, msg) = self.next_msg_id();
+        let src = tiles[0];
+        let mut events = Vec::new();
+        if links.is_empty() {
+            // Single participating tile: plain unicast of its value.
+            let delivered = self.reduce_timing(tiles, dst_tile, bytes, now);
+            return Ok(Delivery {
+                time: delivered,
+                payload: Some(payload.to_vec()),
+                events,
+            });
+        }
+        let Some((eff_links, detours)) = self.resolve_dead_links(
+            &links,
+            policy,
+            flits,
+            src,
+            dst_tile,
+            now,
+            deadline,
+            &mut events,
+        )?
+        else {
+            // Dropped: the reduction still runs on the surviving subtree
+            // for timing, but the delivered sum is lost.
+            let time = self.reduce_timing(tiles, dst_tile, bytes, now);
+            return Ok(Delivery {
+                time,
+                payload: None,
+                events,
+            });
+        };
+        let lateral = detours * (self.config.router_latency + self.config.link_latency);
+        let serialization = eff_links.len() as u64
+            * (self.config.router_latency + self.config.link_latency)
+            + flits;
+        let mut start = now;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let time = self.reduce_timing(tiles, dst_tile, bytes, start) + lateral;
+            let faults = self.flipped_links(&eff_links, msg, attempt);
+            if faults.is_empty() {
+                let mut data = payload.to_vec();
+                self.apply_bad_adders(&mut data, &eff_links, msg);
+                return Ok(Delivery {
+                    time,
+                    payload: Some(data),
+                    events,
+                });
+            }
+            self.stats.crc_failures += 1;
+            let event = TransportEvent {
+                kind: TransportFaultKind::CrcMismatch { link: faults[0] },
+                src,
+                dst: dst_tile,
+                net_time: time,
+            };
+            match Self::retry_budget(policy) {
+                None if policy == TransportPolicy::Silent => {
+                    let mut data = payload.to_vec();
+                    self.corrupt(&mut data, msg, attempt, &faults);
+                    self.apply_bad_adders(&mut data, &eff_links, msg);
+                    events.push(event);
+                    return Ok(Delivery {
+                        time,
+                        payload: Some(data),
+                        events,
+                    });
+                }
+                None => return Err(event),
+                Some((max, backoff)) => {
+                    if attempt > max {
+                        return Err(TransportEvent {
+                            kind: TransportFaultKind::RetransmitExhausted { attempts: attempt },
+                            src,
+                            dst: dst_tile,
+                            net_time: time,
+                        });
+                    }
+                    self.charge_retry(serialization, backoff);
+                    start = time + backoff;
+                    if let Some(dl) = deadline {
+                        if start > dl {
+                            return Err(TransportEvent {
+                                kind: TransportFaultKind::DeadlineExceeded {
+                                    spent_net_cycles: start - now,
+                                },
+                                src,
+                                dst: dst_tile,
+                                net_time: start,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Silently corrupts `data` once per bad reduction adder on the
+    /// merge path (the routers one level above each up-link).
+    fn apply_bad_adders(&self, data: &mut [i32], links: &[LinkId], msg: u64) {
+        let Some(t) = &self.transport else { return };
+        let mut merge_routers: BTreeSet<(u8, u32)> = BTreeSet::new();
+        let radix = self.topology.radix() as u32;
+        for link in links {
+            if link.up {
+                merge_routers.insert((link.level + 1, link.node / radix));
+            }
+        }
+        for (level, node) in merge_routers {
+            if t.map.adder_corrupts(level, node) {
+                t.map.corrupt_payload(
+                    data,
+                    msg,
+                    0x5add_0000 ^ ((u64::from(level) << 32) | u64::from(node)),
+                );
+            }
+        }
     }
 }
 

@@ -1,0 +1,565 @@
+//! Transport-level reliability: link/router/adder fault maps, per-message
+//! CRC, and recovery policies.
+//!
+//! The baseline [`crate::Network`] is a perfect, loss-free timing layer.
+//! Real in-memory fabrics fail at the transport too: wires flip bits,
+//! links and routers die outright, and the in-router reduction adders can
+//! produce silently wrong sums. This module models those failure modes
+//! deterministically so a whole-chip simulation stays reproducible:
+//!
+//! * [`LinkFaultRates`] — the injection knobs (per-traversal flip
+//!   probability, dead links, stuck routers, bad reduction adders);
+//! * [`LinkFaultMap`] — the concrete fault population, derived from a seed
+//!   by hash-threshold sampling so a higher rate yields a *superset* of the
+//!   faults at a lower rate (monotone degradation curves);
+//! * [`crc32`] — the per-message CRC computed over payload words at the
+//!   source and checked at the destination;
+//! * [`TransportPolicy`] — what the fabric does when the CRC check fails
+//!   or a route is dead: deliver anyway, fail fast, ack/retransmit with
+//!   backoff, or detour around dead links through a sibling subtree.
+//!
+//! Faulty reduction adders are the one *silent* failure mode by design:
+//! the adder recomputes the CRC after merging partials, so a wrong sum
+//! carries a valid checksum and sails through transport checks. Catching
+//! it requires end-to-end validation above the transport (the session
+//! layer's shadow-validation mode).
+
+use crate::topology::{HTreeTopology, LinkId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Maximum automatic retransmissions for CRC failures under
+/// [`TransportPolicy::Reroute`] (which has no explicit budget knob).
+pub const REROUTE_RETRANSMIT_MAX: u32 = 16;
+
+/// 64-bit mixer (splitmix64 finalizer) used for all fault sampling.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Combines a seed with a site identifier into a sampling hash.
+fn site_hash(seed: u64, salt: u64, site: u64) -> u64 {
+    mix(seed ^ mix(salt ^ mix(site)))
+}
+
+/// Converts a probability to a `u64` comparison threshold.
+fn threshold(p: f64) -> u64 {
+    if p <= 0.0 {
+        0
+    } else if p >= 1.0 {
+        u64::MAX
+    } else {
+        (p * (u64::MAX as f64)) as u64
+    }
+}
+
+/// Packs a link identity into a sampling site id.
+fn link_site(link: LinkId) -> u64 {
+    (u64::from(link.level) << 33) | (u64::from(link.node) << 1) | u64::from(link.up)
+}
+
+const SALT_DEAD: u64 = 0x6465_6164; // "dead"
+const SALT_STUCK: u64 = 0x7374_6b72; // "stkr"
+const SALT_ADDER: u64 = 0x6164_6472; // "addr"
+const SALT_FLIP: u64 = 0x666c_6970; // "flip"
+const SALT_CORRUPT: u64 = 0x636f_7272; // "corr"
+
+/// Injection rates for the transport fault model. All rates are
+/// probabilities in `[0, 1]`; the all-zero default injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaultRates {
+    /// Probability that one message traversal of one link flips a payload
+    /// bit (detected by the per-message CRC at the destination).
+    pub flip_per_hop: f64,
+    /// Probability that a given physical link is dead (both directions).
+    pub dead_link: f64,
+    /// Probability that a given router is stuck; a stuck router kills
+    /// every link incident to it.
+    pub stuck_router: f64,
+    /// Probability that a given router's reduction adder silently corrupts
+    /// the sums it merges. CRC does **not** catch this (see module docs).
+    pub bad_reduce_adder: f64,
+}
+
+impl LinkFaultRates {
+    /// No injected faults.
+    pub fn none() -> Self {
+        LinkFaultRates {
+            flip_per_hop: 0.0,
+            dead_link: 0.0,
+            stuck_router: 0.0,
+            bad_reduce_adder: 0.0,
+        }
+    }
+
+    /// Only transient bit flips, at probability `p` per link traversal.
+    pub fn flips(p: f64) -> Self {
+        LinkFaultRates {
+            flip_per_hop: p,
+            ..LinkFaultRates::none()
+        }
+    }
+
+    /// Only dead links, at probability `p` per physical link.
+    pub fn dead_links(p: f64) -> Self {
+        LinkFaultRates {
+            dead_link: p,
+            ..LinkFaultRates::none()
+        }
+    }
+}
+
+impl Default for LinkFaultRates {
+    fn default() -> Self {
+        LinkFaultRates::none()
+    }
+}
+
+/// The concrete fault population for one chip: which links are dead, which
+/// routers are stuck, which reduction adders are bad, plus the sampling
+/// state for transient flips.
+///
+/// Generation uses hash-threshold sampling: site `s` is faulty at rate `r`
+/// iff `hash(seed, s) < threshold(r)`, so for a fixed seed the fault set
+/// at a higher rate is a superset of the set at a lower rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFaultMap {
+    seed: u64,
+    rates: LinkFaultRates,
+    /// Dead physical links, keyed by `(level, node)` — both directions of
+    /// a physical link share fate.
+    dead_links: BTreeSet<(u8, u32)>,
+    /// Stuck routers, keyed by `(router_level, node)` with
+    /// `router_level >= 1`.
+    stuck_routers: BTreeSet<(u8, u32)>,
+    /// Routers whose reduction adder corrupts sums.
+    bad_adders: BTreeSet<(u8, u32)>,
+}
+
+impl LinkFaultMap {
+    /// Samples a fault population for `topo` from `seed` at the given
+    /// rates. Deterministic: same inputs, same map.
+    pub fn generate(seed: u64, rates: &LinkFaultRates, topo: &HTreeTopology) -> Self {
+        let th_dead = threshold(rates.dead_link);
+        let th_stuck = threshold(rates.stuck_router);
+        let th_adder = threshold(rates.bad_reduce_adder);
+        let mut dead_links = BTreeSet::new();
+        let mut stuck_routers = BTreeSet::new();
+        let mut bad_adders = BTreeSet::new();
+
+        // Links: one physical link per (level, node) for level 0..levels.
+        let mut level_size = topo.tiles();
+        for level in 0..topo.levels() {
+            for node in 0..level_size as u32 {
+                let site = (u64::from(level) << 32) | u64::from(node);
+                if site_hash(seed, SALT_DEAD, site) < th_dead {
+                    dead_links.insert((level, node));
+                }
+            }
+            level_size /= topo.radix();
+        }
+
+        // Routers live at levels 1..=levels. A stuck router kills its
+        // child links and its own uplink; a bad adder corrupts reductions
+        // merged at that router.
+        let mut routers_at = topo.tiles();
+        for router_level in 1..=topo.levels() {
+            routers_at /= topo.radix();
+            for node in 0..routers_at as u32 {
+                let site = (u64::from(router_level) << 32) | u64::from(node);
+                if site_hash(seed, SALT_STUCK, site) < th_stuck {
+                    stuck_routers.insert((router_level, node));
+                    // Child links sit one level below the router.
+                    for child in 0..topo.radix() as u32 {
+                        dead_links.insert((router_level - 1, node * topo.radix() as u32 + child));
+                    }
+                    if router_level < topo.levels() {
+                        dead_links.insert((router_level, node));
+                    }
+                }
+                if site_hash(seed, SALT_ADDER, site) < th_adder {
+                    bad_adders.insert((router_level, node));
+                }
+            }
+        }
+
+        LinkFaultMap {
+            seed,
+            rates: *rates,
+            dead_links,
+            stuck_routers,
+            bad_adders,
+        }
+    }
+
+    /// A map that injects nothing (useful as an explicit no-op).
+    pub fn clean() -> Self {
+        LinkFaultMap {
+            seed: 0,
+            rates: LinkFaultRates::none(),
+            dead_links: BTreeSet::new(),
+            stuck_routers: BTreeSet::new(),
+            bad_adders: BTreeSet::new(),
+        }
+    }
+
+    /// The rates this map was sampled at.
+    pub fn rates(&self) -> &LinkFaultRates {
+        &self.rates
+    }
+
+    /// True when the map can never produce a fault.
+    pub fn is_clean(&self) -> bool {
+        self.dead_links.is_empty()
+            && self.stuck_routers.is_empty()
+            && self.bad_adders.is_empty()
+            && self.rates.flip_per_hop <= 0.0
+    }
+
+    /// Number of dead physical links (including those killed by stuck
+    /// routers).
+    pub fn dead_link_count(&self) -> usize {
+        self.dead_links.len()
+    }
+
+    /// Number of stuck routers.
+    pub fn stuck_router_count(&self) -> usize {
+        self.stuck_routers.len()
+    }
+
+    /// Number of corrupting reduction adders.
+    pub fn bad_adder_count(&self) -> usize {
+        self.bad_adders.len()
+    }
+
+    /// Whether the physical link under `link` is dead (direction-agnostic).
+    pub fn link_dead(&self, link: LinkId) -> bool {
+        self.dead_links.contains(&(link.level, link.node))
+    }
+
+    /// Whether traversal `attempt` of message `msg` flips a bit while
+    /// crossing `link`.
+    ///
+    /// Sampling is keyed on the *message* identity (assigned once per
+    /// transfer, not per retransmission attempt) plus the attempt number,
+    /// so retransmissions re-roll the dice while the fault population at a
+    /// higher flip rate remains a superset of a lower rate's.
+    pub fn flips_message(&self, msg: u64, attempt: u32, link: LinkId) -> bool {
+        let th = threshold(self.rates.flip_per_hop);
+        if th == 0 {
+            return false;
+        }
+        let site = mix(link_site(link) ^ mix(msg ^ (u64::from(attempt) << 40)));
+        site_hash(self.seed, SALT_FLIP, site) < th
+    }
+
+    /// Whether the reduction adder in router `(router_level, node)`
+    /// corrupts sums.
+    pub fn adder_corrupts(&self, router_level: u8, node: u32) -> bool {
+        self.bad_adders.contains(&(router_level, node))
+    }
+
+    /// Deterministically flips one bit of `data`, keyed by `(msg, salt)`.
+    /// Used both to model wire corruption and bad-adder output.
+    pub fn corrupt_payload(&self, data: &mut [i32], msg: u64, salt: u64) {
+        if data.is_empty() {
+            return;
+        }
+        let h = site_hash(self.seed, SALT_CORRUPT, mix(msg) ^ salt);
+        let word = (h as usize) % data.len();
+        let bit = ((h >> 32) % 31) as u32; // avoid the sign bit for tamer deltas
+        data[word] ^= 1i32 << bit;
+    }
+}
+
+/// What the transport does when a message CRC check fails or its route
+/// crosses a dead link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportPolicy {
+    /// No detection: corrupted payloads are delivered, messages over dead
+    /// links are dropped. Events are still counted for observability.
+    Silent,
+    /// First CRC failure or dead link aborts the transfer with an error.
+    FailFast,
+    /// CRC failures trigger ack-timeout retransmission, up to `max`
+    /// retransmissions with `backoff` network cycles between attempts.
+    /// Dead links exhaust the budget (no retransmission can succeed).
+    AckRetransmit {
+        /// Maximum retransmissions per message.
+        max: u32,
+        /// Network cycles between a failed attempt and the retransmit.
+        backoff: u64,
+    },
+    /// Dead links are detoured through the sibling node's subtree (one
+    /// extra lateral hop); CRC failures retransmit with an internal budget
+    /// of [`REROUTE_RETRANSMIT_MAX`]. A dead sibling is fatal.
+    Reroute,
+}
+
+impl fmt::Display for TransportPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportPolicy::Silent => write!(f, "silent"),
+            TransportPolicy::FailFast => write!(f, "failfast"),
+            TransportPolicy::AckRetransmit { max, backoff } => {
+                write!(f, "ack-retransmit(max={max}, backoff={backoff})")
+            }
+            TransportPolicy::Reroute => write!(f, "reroute"),
+        }
+    }
+}
+
+/// Transport fault model configuration: rates plus recovery policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransportConfig {
+    /// Fault injection rates.
+    pub rates: LinkFaultRates,
+    /// Recovery policy.
+    pub policy: TransportPolicy,
+}
+
+impl TransportConfig {
+    /// A configuration that injects nothing and silently delivers — the
+    /// zero-cost default shape.
+    pub fn none() -> Self {
+        TransportConfig {
+            rates: LinkFaultRates::none(),
+            policy: TransportPolicy::Silent,
+        }
+    }
+}
+
+/// What went wrong (or was survived) during one transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFaultKind {
+    /// The destination CRC check failed after crossing `link`.
+    CrcMismatch {
+        /// First faulty link on the route.
+        link: LinkId,
+    },
+    /// The route crosses a dead link.
+    DeadLink {
+        /// The dead link.
+        link: LinkId,
+    },
+    /// The message was dropped on a dead link (Silent policy).
+    Dropped {
+        /// The dead link.
+        link: LinkId,
+    },
+    /// The retransmission budget ran out before a clean delivery.
+    RetransmitExhausted {
+        /// Attempts made (initial send + retransmissions).
+        attempts: u32,
+    },
+    /// Retransmission was still in progress when the caller's deadline
+    /// passed (watchdog-induced).
+    DeadlineExceeded {
+        /// Network cycles spent before giving up.
+        spent_net_cycles: u64,
+    },
+}
+
+impl fmt::Display for TransportFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportFaultKind::CrcMismatch { link } => write!(f, "CRC mismatch after {link}"),
+            TransportFaultKind::DeadLink { link } => write!(f, "dead link {link}"),
+            TransportFaultKind::Dropped { link } => write!(f, "message dropped on dead {link}"),
+            TransportFaultKind::RetransmitExhausted { attempts } => {
+                write!(f, "retransmit budget exhausted after {attempts} attempts")
+            }
+            TransportFaultKind::DeadlineExceeded { spent_net_cycles } => {
+                write!(
+                    f,
+                    "transfer deadline exceeded after {spent_net_cycles} network cycles"
+                )
+            }
+        }
+    }
+}
+
+/// One transport fault occurrence, fatal or survived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportEvent {
+    /// What happened.
+    pub kind: TransportFaultKind,
+    /// Source tile of the transfer.
+    pub src: usize,
+    /// Destination tile of the transfer.
+    pub dst: usize,
+    /// Network-cycle timestamp.
+    pub net_time: u64,
+}
+
+impl fmt::Display for TransportEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t{}→t{} @net{}: {}",
+            self.src, self.dst, self.net_time, self.kind
+        )
+    }
+}
+
+/// Outcome of a successful (possibly degraded) transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Network-cycle completion time.
+    pub time: u64,
+    /// Delivered payload words. `None` means the message was dropped
+    /// (Silent policy over a dead link) — the destination keeps stale
+    /// data.
+    pub payload: Option<Vec<i32>>,
+    /// Survived fault events (corruptions delivered, drops, detours).
+    pub events: Vec<TransportEvent>,
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over payload words, little-endian byte
+/// order. This is the per-message checksum appended to the tail flit.
+pub fn crc32(words: &[i32]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &w in words {
+        for &byte in &w.to_le_bytes() {
+            crc ^= u32::from(byte);
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+            }
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // "123456789" as ASCII bytes → 0xCBF43926 (the canonical check
+        // value). Build it from i32 words plus a tail; instead check the
+        // raw-byte property through word encoding: fixed expected values
+        // pinned once, plus basic sensitivity.
+        assert_eq!(crc32(&[]), 0);
+        let a = crc32(&[1, 2, 3]);
+        let b = crc32(&[1, 2, 4]);
+        assert_ne!(a, b);
+        // One flipped bit anywhere changes the checksum.
+        let mut words = [7i32, -9, 1 << 20];
+        let before = crc32(&words);
+        words[1] ^= 1 << 13;
+        assert_ne!(before, crc32(&words));
+    }
+
+    #[test]
+    fn zero_rates_generate_clean_map() {
+        let topo = HTreeTopology::new(64, 8);
+        let map = LinkFaultMap::generate(2026, &LinkFaultRates::none(), &topo);
+        assert!(map.is_clean());
+        assert_eq!(map.dead_link_count(), 0);
+        assert!(!map.flips_message(
+            1,
+            1,
+            LinkId {
+                level: 0,
+                node: 0,
+                up: true
+            }
+        ));
+    }
+
+    #[test]
+    fn fault_population_is_monotone_in_rate() {
+        let topo = HTreeTopology::new(512, 8);
+        let lo = LinkFaultMap::generate(7, &LinkFaultRates::dead_links(0.02), &topo);
+        let hi = LinkFaultMap::generate(7, &LinkFaultRates::dead_links(0.2), &topo);
+        assert!(lo.dead_link_count() <= hi.dead_link_count());
+        for &(level, node) in &lo.dead_links {
+            assert!(
+                hi.dead_links.contains(&(level, node)),
+                "fault set must be a superset at higher rates"
+            );
+        }
+    }
+
+    #[test]
+    fn stuck_router_kills_incident_links() {
+        let topo = HTreeTopology::new(64, 8);
+        let rates = LinkFaultRates {
+            stuck_router: 1.0,
+            ..LinkFaultRates::none()
+        };
+        let map = LinkFaultMap::generate(3, &rates, &topo);
+        assert_eq!(map.stuck_router_count(), 8 + 1);
+        // Every level-0 link hangs off a stuck leaf router.
+        for node in 0..64 {
+            assert!(map.link_dead(LinkId {
+                level: 0,
+                node,
+                up: true
+            }));
+        }
+    }
+
+    #[test]
+    fn flips_are_deterministic_and_rate_sensitive() {
+        let topo = HTreeTopology::new(64, 8);
+        let map = LinkFaultMap::generate(11, &LinkFaultRates::flips(0.5), &topo);
+        let link = LinkId {
+            level: 0,
+            node: 5,
+            up: true,
+        };
+        assert_eq!(
+            map.flips_message(42, 1, link),
+            map.flips_message(42, 1, link)
+        );
+        // At rate 0.5 over many (msg, attempt) pairs, both outcomes occur.
+        let mut flipped = 0;
+        for msg in 0..200 {
+            if map.flips_message(msg, 1, link) {
+                flipped += 1;
+            }
+        }
+        assert!(flipped > 20 && flipped < 180, "got {flipped}/200");
+    }
+
+    #[test]
+    fn flip_sampling_is_monotone_in_rate() {
+        let topo = HTreeTopology::new(64, 8);
+        let lo = LinkFaultMap::generate(11, &LinkFaultRates::flips(0.05), &topo);
+        let hi = LinkFaultMap::generate(11, &LinkFaultRates::flips(0.4), &topo);
+        let link = LinkId {
+            level: 0,
+            node: 9,
+            up: false,
+        };
+        for msg in 0..500 {
+            for attempt in 1..3 {
+                if lo.flips_message(msg, attempt, link) {
+                    assert!(
+                        hi.flips_message(msg, attempt, link),
+                        "flip at low rate must persist at high rate (msg {msg})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_changes_exactly_one_word() {
+        let map = LinkFaultMap::generate(5, &LinkFaultRates::flips(1.0), &HTreeTopology::new(8, 8));
+        let original = vec![1i32, 2, 3, 4];
+        let mut data = original.clone();
+        map.corrupt_payload(&mut data, 77, 0);
+        let changed: Vec<usize> = (0..4).filter(|&i| data[i] != original[i]).collect();
+        assert_eq!(changed.len(), 1);
+        // Exactly one bit differs.
+        let i = changed[0];
+        assert_eq!((data[i] ^ original[i]).count_ones(), 1);
+    }
+}

@@ -91,4 +91,57 @@ proptest! {
             prop_assert_eq!(anc as usize / topo.radix(), parent as usize);
         }
     }
+
+    #[test]
+    fn route_is_reverse_of_opposite_route(a in 0usize..4096, b in 0usize..4096) {
+        // route(a, b) must be route(b, a) walked backwards with every
+        // link direction flipped.
+        let topo = HTreeTopology::chip();
+        let forward = topo.route(a, b);
+        let mut backward: Vec<_> = topo.route(b, a);
+        backward.reverse();
+        for link in &mut backward {
+            link.up = !link.up;
+        }
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn hop_count_matches_ancestor_formula(a in 0usize..4096, b in 0usize..4096) {
+        // The route climbs to the lowest common ancestor and back down, so
+        // its length is twice the LCA level — equivalently
+        // 2 * (levels - depth_from_root(LCA)).
+        let topo = HTreeTopology::chip();
+        let meet = topo.common_ancestor_level(a, b);
+        prop_assert_eq!(topo.hops(a, b), 2 * usize::from(meet));
+        prop_assert_eq!(topo.route(a, b).len(), 2 * usize::from(meet));
+        prop_assert!(meet <= topo.levels());
+    }
+
+    #[test]
+    fn reduction_links_cover_each_tile_exactly_once(
+        seed_tiles in prop::collection::btree_set(0usize..4096, 2..48),
+    ) {
+        let topo = HTreeTopology::chip();
+        let tiles: Vec<usize> = seed_tiles.into_iter().collect();
+        let links = topo.reduction_links(&tiles);
+        // All links point up and are unique (routers merge flows).
+        for link in &links {
+            prop_assert!(link.up);
+        }
+        let unique: std::collections::BTreeSet<_> = links.iter().collect();
+        prop_assert_eq!(unique.len(), links.len(), "duplicate reduction link");
+        // Every participating tile contributes its level-0 up-link exactly
+        // once — unless all tiles share a leaf-level ancestor of level 0
+        // (single tile), which the 2.. bound above excludes.
+        let level0: Vec<_> = links.iter().filter(|l| l.level == 0).collect();
+        prop_assert_eq!(level0.len(), tiles.len());
+        for &tile in &tiles {
+            let mine = level0
+                .iter()
+                .filter(|l| l.node as usize == tile)
+                .count();
+            prop_assert_eq!(mine, 1, "tile {} covered {} times", tile, mine);
+        }
+    }
 }

@@ -37,6 +37,15 @@ pub enum SimError {
     /// policy aborted, or the retry policy exhausted its attempt budget.
     /// Carries every detection from the final attempt.
     Faults(Vec<FaultEvent>),
+    /// The watchdog fired: the run exceeded its cycle or attempt budget
+    /// (e.g. a livelocked retransmit storm or an unproductive recovery
+    /// loop) and was aborted instead of spinning.
+    Timeout {
+        /// The configured budget, in array cycles.
+        limit_cycles: u64,
+        /// Array cycles spent when the watchdog fired.
+        spent_cycles: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -65,6 +74,15 @@ impl fmt::Display for SimError {
                     write!(f, "; first: {first}")?;
                 }
                 Ok(())
+            }
+            SimError::Timeout {
+                limit_cycles,
+                spent_cycles,
+            } => {
+                write!(
+                    f,
+                    "watchdog timeout: {spent_cycles} array cycles spent against a budget of {limit_cycles}"
+                )
             }
         }
     }

@@ -34,6 +34,7 @@
 //! [`SimError::Faults`]: crate::SimError::Faults
 //! [`RunReport::fault_overhead_cycles`]: crate::RunReport::fault_overhead_cycles
 
+use imp_noc::TransportFaultKind;
 use imp_rram::FaultRates;
 use std::fmt;
 
@@ -73,6 +74,11 @@ pub enum FaultKind {
     /// Duplicated conversions of the checksum column disagreed: an ADC
     /// offset or transient glitch corrupted at least one conversion.
     Adc,
+    /// A transport-level fault on the H-tree (CRC mismatch, dead link,
+    /// drop, exhausted retransmission). For fault events attached to a
+    /// `Movg` the site names the *destination* IB; for reductions it
+    /// names IB 0 of the round's first group.
+    Transport(TransportFaultKind),
 }
 
 impl fmt::Display for FaultKind {
@@ -86,6 +92,7 @@ impl fmt::Display for FaultKind {
                 )
             }
             FaultKind::Adc => write!(f, "ADC conversion fault"),
+            FaultKind::Transport(kind) => write!(f, "transport fault: {kind}"),
         }
     }
 }
@@ -146,6 +153,51 @@ impl FaultConfig {
     /// Injects faults at the given rates with the given policy.
     pub fn new(rates: FaultRates, policy: FaultPolicy) -> Self {
         FaultConfig { rates, policy }
+    }
+}
+
+/// Execution watchdog configuration.
+///
+/// Recovery policies can livelock: an `AckRetransmit` storm over a dead
+/// link with an enormous budget, or a `Retry` loop re-drawing the same
+/// permanent faults forever. The watchdog bounds both dimensions of that
+/// spin — time and attempts — and converts an overrun into a structured
+/// [`crate::SimError::Timeout`] instead of a hang:
+///
+/// * `max_cycles` is the total array-cycle budget across all attempts,
+///   including recovery overhead. It is also handed to the network as a
+///   transfer deadline (in network cycles), so a retransmit loop inside a
+///   single transfer is cut off mid-storm.
+/// * `max_attempts` is the progress check: each execution attempt must
+///   either complete clean or hand a *new* fault population to the
+///   recovery policy; a policy asking for more than `max_attempts`
+///   attempts is judged stuck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Total array-cycle budget across all execution attempts.
+    pub max_cycles: u64,
+    /// Maximum execution attempts (the initial one plus recoveries).
+    pub max_attempts: u32,
+}
+
+impl WatchdogConfig {
+    /// A budget of `max_cycles` array cycles with at most `max_attempts`
+    /// attempts.
+    pub fn new(max_cycles: u64, max_attempts: u32) -> Self {
+        WatchdogConfig {
+            max_cycles,
+            max_attempts,
+        }
+    }
+}
+
+impl Default for WatchdogConfig {
+    /// An effectively unlimited watchdog (never fires).
+    fn default() -> Self {
+        WatchdogConfig {
+            max_cycles: u64::MAX,
+            max_attempts: u32::MAX,
+        }
     }
 }
 

@@ -45,5 +45,11 @@ pub mod lifetime;
 mod machine;
 
 pub use error::SimError;
-pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultPolicy, FaultSite};
+pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultPolicy, FaultSite, WatchdogConfig};
 pub use machine::{Machine, RunReport, SimConfig, TraceEvent};
+
+// Transport-reliability types, re-exported so simulator users configure
+// the H-tree fault model without a direct `imp-noc` dependency.
+pub use imp_noc::{
+    LinkFaultRates, NocStats, TransportConfig, TransportEvent, TransportFaultKind, TransportPolicy,
+};

@@ -1,7 +1,9 @@
 //! Functional + timing execution of compiled kernels.
 
 use crate::energy::{ArrayPower, EnergyBreakdown, EnergyMeter};
-use crate::fault::{mix_seed, FaultConfig, FaultEvent, FaultKind, FaultPolicy, FaultSite};
+use crate::fault::{
+    mix_seed, FaultConfig, FaultEvent, FaultKind, FaultPolicy, FaultSite, WatchdogConfig,
+};
 use crate::lifetime;
 use crate::SimError;
 use imp_compiler::module::{as_cross_ib, as_output_slot, OutputLoc, RegBinding};
@@ -10,7 +12,10 @@ use imp_compiler::ParallelSpec;
 use imp_compiler::{ArrayAvailability, ChipCapacity, CompiledKernel, InputBinding};
 use imp_dfg::{NodeId, Shape, Tensor};
 use imp_isa::{Instruction, LANES};
-use imp_noc::{HTreeTopology, Network, NocConfig, NocStats};
+use imp_noc::{
+    HTreeTopology, LinkFaultMap, Network, NocConfig, NocStats, TransportConfig, TransportEvent,
+    TransportFaultKind,
+};
 use imp_rram::{AnalogSpec, FaultMap, Fixed, ReramArray, ARRAY_CYCLE_S};
 use std::collections::HashMap;
 
@@ -36,6 +41,13 @@ pub struct SimConfig {
     /// disables the fault model entirely: no fault maps are generated
     /// and execution is bit-identical to a fault-free chip.
     pub faults: Option<FaultConfig>,
+    /// Transport-level (H-tree) fault injection and recovery. `None`
+    /// (the default) keeps the loss-free network; transfers are then
+    /// bit- and cycle-identical to a perfect fabric. The link fault map
+    /// is seeded from [`SimConfig::fault_seed`].
+    pub transport: Option<TransportConfig>,
+    /// Execution watchdog. `None` (the default) never times out.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl SimConfig {
@@ -48,6 +60,8 @@ impl SimConfig {
             trace: false,
             fault_seed: 0,
             faults: None,
+            transport: None,
+            watchdog: None,
         }
     }
 
@@ -60,6 +74,8 @@ impl SimConfig {
             trace: false,
             fault_seed: 0,
             faults: None,
+            transport: None,
+            watchdog: None,
         }
     }
 }
@@ -74,6 +90,19 @@ impl Default for SimConfig {
 /// bytes per second (the H-tree root gives "high-bandwidth communication
 /// for external I/O", §2.1; 100 GB/s is DDR4-class).
 pub const EXTERNAL_IO_BYTES_PER_S: f64 = 100.0e9;
+
+/// Salt decorrelating the link fault map's seed from the array-level
+/// fault streams derived from the same [`SimConfig::fault_seed`].
+const TRANSPORT_SEED_SALT: u64 = 0x4e0c_4e0c_4e0c_4e0c;
+
+/// Wraps one transport fault occurrence as a chip-level [`FaultEvent`].
+fn transport_fault_event(site: FaultSite, ev: &TransportEvent) -> FaultEvent {
+    FaultEvent {
+        site,
+        cycle: imp_noc::net_to_array_cycles(ev.net_time),
+        kind: FaultKind::Transport(ev.kind),
+    }
+}
 
 /// One traced instruction execution (first instance group only).
 #[derive(Debug, Clone, PartialEq)]
@@ -140,6 +169,11 @@ pub struct RunReport {
     /// Array cycles spent on failed attempts and retry backoff. Included
     /// in [`RunReport::cycles`].
     pub fault_overhead_cycles: u64,
+    /// Array cycles the accepted attempt spent on transport recovery
+    /// (retransmission serialization, backoff, detour hops). Included in
+    /// [`RunReport::cycles`]; zero whenever [`SimConfig::transport`] is
+    /// `None` or the fault map is clean.
+    pub transport_overhead_cycles: u64,
 }
 
 /// Everything one execution attempt produces; the recovery loop in
@@ -155,6 +189,13 @@ struct Attempt {
     noc: NocStats,
     trace: Option<Vec<TraceEvent>>,
     events: Vec<FaultEvent>,
+    /// Transport faults survived during the attempt (CRC corruptions
+    /// delivered under Silent, drops, detours). Kept separate from
+    /// `events` so they inform the report without driving the
+    /// *array-level* recovery loop — transport recovery already happened
+    /// inside the network per [`imp_noc::TransportPolicy`].
+    transport_events: Vec<FaultEvent>,
+    transport_overhead_cycles: u64,
 }
 
 /// The simulated chip.
@@ -168,7 +209,12 @@ impl Machine {
     /// Creates a machine.
     pub fn new(config: SimConfig) -> Self {
         let topology = HTreeTopology::new(config.capacity.tiles, 8);
-        let network = Network::new(topology, config.noc);
+        let mut network = Network::new(topology, config.noc);
+        if let Some(transport) = &config.transport {
+            let seed = mix_seed(config.fault_seed, TRANSPORT_SEED_SALT);
+            let map = LinkFaultMap::generate(seed, &transport.rates, network.topology());
+            network.set_transport(map, transport.policy);
+        }
         Machine { config, network }
     }
 
@@ -247,6 +293,21 @@ impl Machine {
             )?;
             instructions_executed += attempt.instructions_executed;
             fault_events.extend(attempt.events.iter().cloned());
+            fault_events.extend(attempt.transport_events.iter().cloned());
+
+            // Watchdog cycle budget: checked against total spend so far
+            // (prior failed attempts plus this one), whatever the attempt's
+            // outcome — a "successful" run that blew the budget inside a
+            // retransmit storm still times out.
+            if let Some(watchdog) = &self.config.watchdog {
+                let spent = fault_overhead_cycles + attempt.cycles;
+                if spent > watchdog.max_cycles {
+                    return Err(SimError::Timeout {
+                        limit_cycles: watchdog.max_cycles,
+                        spent_cycles: spent,
+                    });
+                }
+            }
 
             if attempt.events.is_empty() || matches!(policy, FaultPolicy::Silent) {
                 // This attempt's outputs stand.
@@ -281,6 +342,7 @@ impl Machine {
                     retries,
                     retired_arrays: avail.retired_slots().collect(),
                     fault_overhead_cycles,
+                    transport_overhead_cycles: attempt.transport_overhead_cycles,
                 });
             }
 
@@ -316,6 +378,16 @@ impl Machine {
                     });
                 }
             }
+            // Watchdog progress ceiling: the policy wants another attempt;
+            // refuse if the attempt budget is exhausted.
+            if let Some(watchdog) = &self.config.watchdog {
+                if attempt_idx + 1 >= u64::from(watchdog.max_attempts) {
+                    return Err(SimError::Timeout {
+                        limit_cycles: watchdog.max_cycles,
+                        spent_cycles: fault_overhead_cycles,
+                    });
+                }
+            }
             retries += 1;
             attempt_idx += 1;
         }
@@ -337,6 +409,13 @@ impl Machine {
         self.network.reset();
         let format = kernel.format;
         let num_ibs = kernel.ibs.len().max(1);
+        // The watchdog's cycle budget doubles as a per-transfer deadline,
+        // cutting off retransmit storms inside the network.
+        let net_deadline = self.config.watchdog.as_ref().map(|w| {
+            w.max_cycles
+                .saturating_mul(imp_noc::NET_CYCLES_PER_ARRAY_CYCLE)
+        });
+        let mut transport_events: Vec<FaultEvent> = Vec::new();
         let groups_total = instances.div_ceil(LANES).max(1);
         let groups_per_round = (usable.len() / num_ibs).max(1).min(groups_total);
         let rounds = groups_total.div_ceil(groups_per_round) as u64;
@@ -392,12 +471,38 @@ impl Machine {
                         let (src_ib, src_row) = as_cross_ib(src).expect("virtual movg source");
                         let (dst_ib, dst_row) = as_cross_ib(dst).expect("virtual movg destination");
                         let value = arrays[src_ib].read_row(src_row as usize);
-                        arrays[dst_ib].write_row(dst_row as usize, &value);
                         let src_tile = self.tile_of(usable, group_in_round, num_ibs, src_ib);
                         let dst_tile = self.tile_of(usable, group_in_round, num_ibs, dst_ib);
                         let now =
                             round_base_net + entry.start * imp_noc::NET_CYCLES_PER_ARRAY_CYCLE;
-                        self.network.send(src_tile, dst_tile, 32, now);
+                        let site = FaultSite {
+                            round,
+                            group,
+                            ib: dst_ib,
+                            physical_slot: usable[group_in_round * num_ibs + dst_ib],
+                        };
+                        match self.network.transfer(
+                            src_tile,
+                            dst_tile,
+                            &value,
+                            32,
+                            now,
+                            net_deadline,
+                        ) {
+                            Ok(delivery) => {
+                                for ev in &delivery.events {
+                                    transport_events.push(transport_fault_event(site, ev));
+                                }
+                                // A dropped message (Silent over a dead
+                                // link) leaves the stale destination row.
+                                if let Some(words) = delivery.payload {
+                                    let mut row = [0i32; LANES];
+                                    row.copy_from_slice(&words);
+                                    arrays[dst_ib].write_row(dst_row as usize, &row);
+                                }
+                            }
+                            Err(ev) => return Err(self.transport_error(site, ev)),
+                        }
                     }
                     Instruction::ReduceSum { src, dst } => {
                         let slot = as_output_slot(dst).expect("virtual reduce target");
@@ -497,7 +602,10 @@ impl Machine {
         }
 
         // One in-network reduction per round, over the tiles the round's
-        // groups occupy (for timing/energy of the H-tree adder tree).
+        // groups occupy (for timing/energy of the H-tree adder tree). The
+        // delivered sums replace the accumulators: transport corruption of
+        // the reduction tree (flips under Silent, bad adders) lands in the
+        // outputs exactly like it would on hardware.
         let mut reduce_tail_cycles = 0u64;
         if n_slots > 0 {
             let tiles: Vec<usize> = (0..groups_per_round)
@@ -505,12 +613,36 @@ impl Machine {
                 .collect::<std::collections::BTreeSet<_>>()
                 .into_iter()
                 .collect();
-            let done = self.network.reduce(&tiles, 0, 32 * n_slots, 0);
-            reduce_tail_cycles = imp_noc::net_to_array_cycles(done);
+            let site = FaultSite {
+                round: rounds.saturating_sub(1),
+                group: 0,
+                ib: 0,
+                physical_slot: usable[0],
+            };
+            match self.network.reduce_transfer(
+                &tiles,
+                0,
+                &reduce_acc,
+                32 * n_slots,
+                0,
+                net_deadline,
+            ) {
+                Ok(delivery) => {
+                    for ev in &delivery.events {
+                        transport_events.push(transport_fault_event(site, ev));
+                    }
+                    reduce_tail_cycles = imp_noc::net_to_array_cycles(delivery.time);
+                    // A dropped reduction loses the sums entirely.
+                    reduce_acc = delivery.payload.unwrap_or_else(|| vec![0i32; n_slots]);
+                }
+                Err(ev) => return Err(self.transport_error(site, ev)),
+            }
         }
         meter.record_noc(&self.network.stats());
 
-        let cycles = rounds * module_latency + reduce_tail_cycles;
+        let transport_overhead_cycles =
+            imp_noc::net_to_array_cycles(self.network.stats().retransmit_cycles);
+        let cycles = rounds * module_latency + reduce_tail_cycles + transport_overhead_cycles;
         // Accelerator-mode loading estimate: every group's input rows and
         // register preloads stream in through the external I/O port.
         let bytes_per_group: usize = kernel
@@ -570,7 +702,22 @@ impl Machine {
             noc: self.network.stats(),
             trace,
             events,
+            transport_events,
+            transport_overhead_cycles,
         })
+    }
+
+    /// Maps a fatal transport error to the right [`SimError`]: deadline
+    /// overruns become [`SimError::Timeout`], everything else surfaces as
+    /// an unrecovered fault.
+    fn transport_error(&self, site: FaultSite, ev: TransportEvent) -> SimError {
+        if let TransportFaultKind::DeadlineExceeded { spent_net_cycles } = ev.kind {
+            return SimError::Timeout {
+                limit_cycles: self.config.watchdog.as_ref().map_or(0, |w| w.max_cycles),
+                spent_cycles: imp_noc::net_to_array_cycles(spent_net_cycles),
+            };
+        }
+        SimError::Faults(vec![transport_fault_event(site, &ev)])
     }
 
     /// Physical tile of IB `ib` of round-local group `g` (groups packed

@@ -3,6 +3,7 @@
 //! front-end, validated against the reference interpreter.
 
 use imp::{CompileOptions, GraphBuilder, Interpreter, OptPolicy, Session, Shape, Tensor};
+use imp_testutil::assert_all_close;
 use std::collections::HashMap;
 
 fn run_both(
@@ -65,9 +66,7 @@ fn pipeline_of_every_op_class() {
 
     let want = &golden[&out];
     let got = &report.outputs[&out];
-    for (i, (&a, &b)) in got.data().iter().zip(want.data()).enumerate() {
-        assert!((a - b).abs() < 0.08, "[{i}] chip {a} vs reference {b}");
-    }
+    assert_all_close(got.data(), want.data(), 0.08, "pipeline");
 }
 
 #[test]
@@ -127,9 +126,7 @@ fn ilp_and_dlp_policies_agree_functionally() {
     );
     let a = &dlp_report.outputs[&s1];
     let b = &ilp_report.outputs[&s2];
-    for (x, y) in a.data().iter().zip(b.data()) {
-        assert!((x - y).abs() < 1e-6, "policies diverge: {x} vs {y}");
-    }
+    assert_all_close(a.data(), b.data(), 1e-6, "policies diverge");
 }
 
 #[test]

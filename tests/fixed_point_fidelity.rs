@@ -5,6 +5,7 @@
 //! point *given* the dynamic range holds.
 
 use imp::{CompileOptions, GraphBuilder, Interpreter, QFormat, Session, Shape, Tensor};
+use imp_testutil::assert_all_close;
 use proptest::prelude::*;
 
 fn chip_vs_reference(
@@ -137,9 +138,7 @@ fn quadratic_regression_small_uniform_inputs() {
         },
         &[("x", -10.0, 10.0)],
     );
-    for (a, b) in chip.iter().zip(&reference) {
-        assert!((a - b).abs() < 1e-2, "{a} vs {b}");
-    }
+    assert_all_close(&chip, &reference, 1e-2, "x²+x small uniform");
 }
 
 #[test]
@@ -152,9 +151,7 @@ fn quadratic_regression_mixed_inputs() {
         },
         &[("x", -10.0, 10.0)],
     );
-    for (a, b) in chip.iter().zip(&reference) {
-        assert!((a - b).abs() < 1e-2, "{a} vs {b}");
-    }
+    assert_all_close(&chip, &reference, 1e-2, "x²+x mixed");
 }
 
 #[test]

@@ -5,9 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use imp_compiler::OptPolicy;
-use imp_isa::{Addr, Instruction, RowMask};
+use imp_isa::{Addr, Instruction, RowMask, LANES};
 use imp_rram::{AnalogSpec, ReramArray};
-use imp_sim::{Machine, SimConfig};
+use imp_sim::{Machine, Parallelism, SimConfig};
 use imp_workloads::{all_workloads, workload};
 use std::hint::black_box;
 
@@ -71,6 +71,36 @@ fn bench_simulate(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial versus parallel instance-group execution across group counts.
+/// At 1 group the parallel path degenerates to a single worker (shard
+/// overhead only); the spread should widen with the group count on
+/// multi-core hosts while staying bit-identical in results.
+fn bench_parallel_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_engine");
+    group.sample_size(10);
+    let w = workload("blackscholes").unwrap();
+    for groups in [1usize, 8, 64, 512] {
+        let n = groups * LANES;
+        let kernel = w.compile(n, OptPolicy::MaxDlp).unwrap();
+        let inputs = w.inputs(n, 5);
+        for (name, parallelism) in [
+            ("serial", Parallelism::Serial),
+            ("parallel", Parallelism::Auto),
+        ] {
+            group.bench_function(BenchmarkId::new(name, groups), |b| {
+                b.iter(|| {
+                    let mut machine = Machine::new(SimConfig {
+                        parallelism,
+                        ..SimConfig::functional()
+                    });
+                    black_box(machine.run(black_box(&kernel), black_box(&inputs)).unwrap())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_native(c: &mut Criterion) {
     let mut group = c.benchmark_group("native");
     let n = 4096;
@@ -105,6 +135,7 @@ criterion_group!(
     bench_array_ops,
     bench_compile,
     bench_simulate,
+    bench_parallel_engine,
     bench_native
 );
 criterion_main!(benches);

@@ -177,9 +177,11 @@ fn main() {
         "glitch rate", "retry err", "attempts", "cycles"
     );
     // A single in-situ multiply performs 8 lanes × 16 × 16 = 2,048 ADC
-    // conversions, so per-conversion glitch rates beyond ~1e-5 leave no
-    // realistic chance of a glitch-free attempt on this kernel.
-    for &rate in &[0.0f64, 1e-6, 3e-6, 1e-5, 2e-5] {
+    // conversions, and every instance group draws its own independent
+    // glitch stream (seeded per (slot, group, attempt)), so one attempt
+    // on this kernel faces ~1e6 independent draws: per-conversion rates
+    // beyond ~4e-6 leave no realistic chance of a glitch-free attempt.
+    for &rate in &[0.0f64, 5e-7, 1e-6, 2e-6, 4e-6] {
         let rates = FaultRates {
             transient_adc: rate,
             ..FaultRates::none()

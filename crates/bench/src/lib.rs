@@ -55,8 +55,23 @@ pub fn emit_json(
     report: &RunReport,
     mean_err: f64,
 ) {
-    let noc = &report.noc;
     println!(
+        "{}",
+        emit_json_line(experiment, series, x, report, mean_err)
+    );
+}
+
+/// [`emit_json`]'s record as a `String`, for harnesses that also write
+/// the JSON-lines stream to a committed baseline file.
+pub fn emit_json_line(
+    experiment: &str,
+    series: &str,
+    x: impl std::fmt::Display,
+    report: &RunReport,
+    mean_err: f64,
+) -> String {
+    let noc = &report.noc;
+    format!(
         concat!(
             "{{\"experiment\":\"{}\",\"series\":\"{}\",\"x\":{},",
             "\"cycles\":{},\"transport_overhead_cycles\":{},\"mean_err\":{:.6e},",
@@ -82,7 +97,7 @@ pub fn emit_json(
         noc.rerouted_messages,
         noc.retransmit_cycles,
         noc.dropped_messages,
-    );
+    )
 }
 
 /// IMP kernel wall-clock time at `instances` via the static model (§6's

@@ -69,8 +69,8 @@ pub use imp_isa as isa;
 pub use imp_noc as noc;
 pub use imp_rram::{AnalogSpec, FaultMap, FaultRates, Fixed, QFormat};
 pub use imp_sim::{
-    FaultConfig, FaultEvent, FaultKind, FaultPolicy, FaultSite, LinkFaultRates, Machine, RunReport,
-    SimConfig, SimError, TransportConfig, TransportEvent, TransportFaultKind, TransportPolicy,
-    WatchdogConfig,
+    FaultConfig, FaultEvent, FaultKind, FaultPolicy, FaultSite, LinkFaultRates, Machine,
+    Parallelism, RunReport, SimConfig, SimError, TransportConfig, TransportEvent,
+    TransportFaultKind, TransportPolicy, WatchdogConfig,
 };
 pub use imp_workloads as workloads;

@@ -62,6 +62,28 @@ pub struct NocStats {
     pub dropped_messages: u64,
 }
 
+impl NocStats {
+    /// Adds every counter of `other` into `self`.
+    ///
+    /// All fields are additive activity counts, so merging per-shard stats
+    /// in any order yields the same totals as a single serial run; the
+    /// parallel engine still merges in ascending group order so the whole
+    /// report pipeline is order-deterministic.
+    pub fn merge(&mut self, other: &NocStats) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.flit_hops += other.flit_hops;
+        self.router_traversals += other.router_traversals;
+        self.reduction_adds += other.reduction_adds;
+        self.contention_cycles += other.contention_cycles;
+        self.crc_failures += other.crc_failures;
+        self.retransmissions += other.retransmissions;
+        self.rerouted_messages += other.rerouted_messages;
+        self.retransmit_cycles += other.retransmit_cycles;
+        self.dropped_messages += other.dropped_messages;
+    }
+}
+
 /// The chip network: topology + per-link occupancy for contention modeling.
 ///
 /// The model is conservative wormhole-style: a message occupies each link on
@@ -139,6 +161,20 @@ impl Network {
     pub fn reset(&mut self) {
         self.link_free.clear();
         self.stats = NocStats::default();
+    }
+
+    /// Pins the message id the next [`Network::transfer`] (or
+    /// [`Network::reduce_transfer`]) will use.
+    ///
+    /// Transport fault sampling is a pure function of `(message id,
+    /// attempt, link)`, so giving every instance group a disjoint,
+    /// group-derived id base makes fault draws independent of the order
+    /// in which groups execute — the property the parallel engine needs
+    /// for bit-identical results. No-op without an attached fault model.
+    pub fn set_next_msg_id(&mut self, id: u64) {
+        if let Some(st) = &mut self.transport {
+            st.next_msg = id;
+        }
     }
 
     fn flits(&self, bytes: usize) -> u64 {

@@ -47,6 +47,9 @@ pub struct ReramArray {
     /// Sticky detection flag: the duplicated conversion on the checksum
     /// column disagreed at least once since the last (re)arm.
     adc_fault_seen: bool,
+    /// Whether the fault-free fast path may be taken (test hook; the fast
+    /// path is semantically identical and on by default).
+    fast_path_enabled: bool,
 }
 
 impl ReramArray {
@@ -63,7 +66,29 @@ impl ReramArray {
             transient_prob: 0.0,
             transient_rng: StdRng::seed_from_u64(0),
             adc_fault_seen: false,
+            fast_path_enabled: true,
         }
+    }
+
+    /// Enables or disables the fault-free fast path (see
+    /// [`ReramArray::execute_local`]). The fast path is bit-identical to
+    /// the general path; this hook exists so the equivalence property test
+    /// can compare the two.
+    pub fn set_fast_path_enabled(&mut self, enabled: bool) {
+        self.fast_path_enabled = enabled;
+    }
+
+    /// True when no fault or noise model can affect this array's
+    /// conversions: no analog noise, no installed fault map, and a
+    /// calibrated ADC. Under this precondition every `adc_noise` /
+    /// `adc_fault_err` call returns 0 without consuming RNG state, and
+    /// every crossbar read senses exactly the programmed digits — the
+    /// invariants the fast paths rely on.
+    fn fault_free(&self) -> bool {
+        self.spec.noise_prob <= 0.0
+            && self.adc_offset == 0
+            && self.transient_prob <= 0.0
+            && self.crossbar.fault_map().is_none()
     }
 
     /// Reseeds the process-variation noise source (for reproducible fault
@@ -87,11 +112,43 @@ impl ReramArray {
     /// `attempt`: permanent faults persist across retries, transients are
     /// drawn fresh. Also clears the sticky detection flag.
     pub fn rearm_transients(&mut self, attempt: u64) {
+        self.rearm_transients_stream(attempt.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    }
+
+    /// Re-arms the transient-glitch stream from an arbitrary caller-mixed
+    /// stream id. The simulator derives the id from `(seed, slot, group,
+    /// attempt)` so every (array, instance group, recovery attempt) draws
+    /// an independent stream — transients then cannot depend on the order
+    /// in which groups execute, which is what lets the parallel engine
+    /// reproduce serial results bit for bit. Clears the sticky detection
+    /// flag.
+    pub fn rearm_transients_stream(&mut self, stream: u64) {
         let base = self.crossbar.fault_map().map(|m| m.seed()).unwrap_or(0);
-        self.transient_rng = StdRng::seed_from_u64(
-            base ^ 0xADC0_FA17_ADC0_FA17 ^ attempt.wrapping_mul(0x2545_F491_4F6C_DD1D),
-        );
+        self.transient_rng = StdRng::seed_from_u64(base ^ 0xADC0_FA17_ADC0_FA17 ^ stream);
         self.adc_fault_seen = false;
+    }
+
+    /// Resets this pooled array to the state of `template` (which must
+    /// have a pristine, never-written crossbar), reusing every allocation:
+    /// dirtied crossbar rows are zeroed in place, the register file and
+    /// dynamic mask are copied back, any installed fault map is dropped,
+    /// and the ADC periphery is restored to the template's calibration.
+    /// After this call the array is indistinguishable from
+    /// `template.clone()`.
+    pub fn reset_from_template(&mut self, template: &ReramArray) {
+        self.crossbar.reset_dirty();
+        self.regfile.clone_from(&template.regfile);
+        if self.lut != template.lut {
+            self.lut = template.lut.clone();
+        }
+        self.spec = template.spec;
+        self.dynamic_mask = template.dynamic_mask;
+        self.fault_rng = template.fault_rng.clone();
+        self.adc_offset = template.adc_offset;
+        self.transient_prob = template.transient_prob;
+        self.transient_rng = template.transient_rng.clone();
+        self.adc_fault_seen = false;
+        self.fast_path_enabled = template.fast_path_enabled;
     }
 
     /// Whether the periphery latched an ADC fault (a conversion whose
@@ -355,6 +412,9 @@ impl ReramArray {
         minus_rows: &[usize],
         trace: &mut OpTrace,
     ) -> Result<[i32; LANES], RramError> {
+        if self.fast_path_enabled && self.fault_free() {
+            return self.in_situ_add_fast(plus_rows, minus_rows, trace);
+        }
         trace.crossbar_active = true;
         let mut max_abs_partial: i64 = 0;
         let mut out = [0i32; LANES];
@@ -386,6 +446,48 @@ impl ReramArray {
         Ok(out)
     }
 
+    /// Fault-free fast path of [`ReramArray::in_situ_add`]: reads whole
+    /// programmed rows as slices (no per-digit fault sensing) and skips
+    /// the noise/transient hooks, which under [`ReramArray::fault_free`]
+    /// return 0 without touching RNG state. Conversion order, ADC range
+    /// checks/clipping, and the activity trace are identical to the
+    /// general path — the equivalence proptest in this module holds the
+    /// two together.
+    fn in_situ_add_fast(
+        &mut self,
+        plus_rows: &[usize],
+        minus_rows: &[usize],
+        trace: &mut OpTrace,
+    ) -> Result<[i32; LANES], RramError> {
+        trace.crossbar_active = true;
+        let mut max_abs_partial: i64 = 0;
+        let mut out = [0i32; LANES];
+        for (lane, out_word) in out.iter_mut().enumerate() {
+            let base = lane * DIGITS_PER_WORD;
+            let mut partials = [0i64; DIGITS_PER_WORD];
+            for &row in plus_rows {
+                let cells = self.crossbar.programmed_row(row);
+                for (digit_pos, partial) in partials.iter_mut().enumerate() {
+                    *partial += i64::from(cells[base + digit_pos]);
+                }
+            }
+            for &row in minus_rows {
+                let cells = self.crossbar.programmed_row(row);
+                for (digit_pos, partial) in partials.iter_mut().enumerate() {
+                    *partial -= i64::from(cells[base + digit_pos]);
+                }
+            }
+            for partial in partials.iter_mut() {
+                max_abs_partial = max_abs_partial.max(partial.abs());
+                *partial = self.spec.convert(*partial)?;
+            }
+            *out_word = digits::combine_partial_sums(&partials);
+        }
+        trace.adc_conversions += (LANES * DIGITS_PER_WORD) as u32;
+        trace.adc_bits_used = AnalogSpec::required_adc_bits(max_abs_partial.max(1));
+        Ok(out)
+    }
+
     /// In-situ dot product: selected rows multiplied by register
     /// multiplicands streamed 2 bits per cycle through the word-line DACs,
     /// products summed over the bit-lines.
@@ -407,6 +509,9 @@ impl ReramArray {
         regs: &[usize],
         trace: &mut OpTrace,
     ) -> Result<[i32; LANES], RramError> {
+        if self.fast_path_enabled && self.fault_free() {
+            return self.in_situ_dot_fast(rows, regs, trace);
+        }
         trace.crossbar_active = true;
         let pairs = rows.len().min(regs.len());
         let mut max_partial: i64 = 0;
@@ -459,6 +564,61 @@ impl ReramArray {
         Ok(out)
     }
 
+    /// Fault-free fast path of [`ReramArray::in_situ_dot`]: hoists the
+    /// per-pair multiplicand chunks and digit reads out of the
+    /// (bit-line × chunk) conversion loop and skips the zeroed noise
+    /// hooks. ADC range accounting visits conversions in the same order
+    /// with the same partial sums as the general path, so errors,
+    /// clipping, and the trace are identical.
+    fn in_situ_dot_fast(
+        &mut self,
+        rows: &[usize],
+        regs: &[usize],
+        trace: &mut OpTrace,
+    ) -> Result<[i32; LANES], RramError> {
+        trace.crossbar_active = true;
+        let pairs = rows.len().min(regs.len());
+        // Per pair: the architectural scalar (lane 0) and its sixteen
+        // 2-bit DAC chunks.
+        let mut m_words = vec![0i64; pairs];
+        let mut m_chunks = vec![[0i64; DIGITS_PER_WORD]; pairs];
+        for pair in 0..pairs {
+            let m = self.regfile.read_lane(regs[pair], 0);
+            m_words[pair] = i64::from(m);
+            for (chunk, slot) in m_chunks[pair].iter_mut().enumerate() {
+                *slot = i64::from((m as u32 >> (2 * chunk)) & 0b11);
+            }
+        }
+        let mut cells = vec![0i64; pairs];
+        let mut max_partial: i64 = 0;
+        let mut out = [0i32; LANES];
+        for (lane, out_word) in out.iter_mut().enumerate() {
+            for digit_pos in 0..DIGITS_PER_WORD {
+                let col = lane * DIGITS_PER_WORD + digit_pos;
+                for pair in 0..pairs {
+                    cells[pair] = i64::from(self.crossbar.programmed_row(rows[pair])[col]);
+                }
+                for chunk in 0..DIGITS_PER_WORD {
+                    let mut base: i64 = 0;
+                    for (cell, chunks) in cells.iter().zip(&m_chunks) {
+                        base += cell * chunks[chunk];
+                    }
+                    max_partial = max_partial.max(base);
+                    self.spec.convert(base)?;
+                }
+            }
+            let mut acc: i64 = 0;
+            for pair in 0..pairs {
+                let a = i64::from(self.crossbar.read_word(rows[pair], lane));
+                acc = acc.wrapping_add(a.wrapping_mul(m_words[pair]));
+            }
+            *out_word = (acc >> self.spec.frac_bits) as i32;
+        }
+        trace.adc_conversions += (LANES * DIGITS_PER_WORD * DIGITS_PER_WORD) as u32;
+        trace.adc_bits_used = AnalogSpec::required_adc_bits(max_partial.max(1));
+        Ok(out)
+    }
+
     /// In-situ element-wise multiply: operand `a` resident in the array,
     /// operand `b` streamed 2 bits per cycle through the *bit-line* DACs
     /// (the new capability this architecture adds over ISAAC, §2.2).
@@ -468,6 +628,9 @@ impl ReramArray {
         b: Addr,
         trace: &mut OpTrace,
     ) -> Result<[i32; LANES], RramError> {
+        if self.fast_path_enabled && self.fault_free() {
+            return self.in_situ_mul_fast(a, b, trace);
+        }
         trace.crossbar_active = true;
         let a_value = self.read_addr(a);
         let b_value = self.read_addr(b);
@@ -508,6 +671,51 @@ impl ReramArray {
             let wide = i64::from(a_value[lane])
                 .wrapping_mul(i64::from(b_value[lane]))
                 .wrapping_add(noise_acc);
+            *out_word = (wide >> self.spec.frac_bits) as i32;
+        }
+        trace.adc_conversions += (LANES * DIGITS_PER_WORD * DIGITS_PER_WORD) as u32;
+        trace.adc_bits_used = AnalogSpec::required_adc_bits(max_partial.max(1));
+        Ok(out)
+    }
+
+    /// Fault-free fast path of [`ReramArray::in_situ_mul`]: skips the
+    /// zeroed noise hooks and the conversions whose partial product is 0
+    /// (a zero partial can neither overrange nor raise the running
+    /// maximum, so error order, clipping, and the trace are unchanged).
+    fn in_situ_mul_fast(
+        &mut self,
+        a: Addr,
+        b: Addr,
+        trace: &mut OpTrace,
+    ) -> Result<[i32; LANES], RramError> {
+        trace.crossbar_active = true;
+        let a_value = self.read_addr(a);
+        let b_value = self.read_addr(b);
+        if a.is_reg() {
+            trace.regfile_accesses += 1;
+        }
+        if b.is_reg() {
+            trace.regfile_accesses += 1;
+        }
+        let mut max_partial: i64 = 0;
+        let mut out = [0i32; LANES];
+        for (lane, out_word) in out.iter_mut().enumerate() {
+            let a_digits = digits::word_to_digits(a_value[lane]);
+            let b_digits = digits::word_to_digits(b_value[lane]);
+            for &da in a_digits.iter() {
+                if da == 0 {
+                    continue;
+                }
+                for &db in b_digits.iter() {
+                    if db == 0 {
+                        continue;
+                    }
+                    let base = i64::from(da) * i64::from(db);
+                    max_partial = max_partial.max(base);
+                    self.spec.convert(base)?;
+                }
+            }
+            let wide = i64::from(a_value[lane]).wrapping_mul(i64::from(b_value[lane]));
             *out_word = (wide >> self.spec.frac_bits) as i32;
         }
         trace.adc_conversions += (LANES * DIGITS_PER_WORD * DIGITS_PER_WORD) as u32;
@@ -1014,7 +1222,190 @@ mod tests {
         assert!(t8.adc_bits_used > t2.adc_bits_used);
     }
 
+    #[test]
+    fn reset_from_template_matches_fresh_clone() {
+        let mut template = array();
+        template.set_lut(Lut::from_fn(LutKind::Custom, |i| (i % 251) as u8));
+        template.write_reg(1, [7; LANES]);
+        template.set_fault_seed(99);
+
+        let mut pooled = template.clone();
+        // Dirty the pooled array thoroughly.
+        pooled.write_row(0, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        pooled.write_row(90, &[-1; LANES]);
+        pooled.write_reg(2, [3; LANES]);
+        pooled.write_reg(imp_isa::MASK_REGISTER, [1; LANES]);
+        {
+            use crate::fault::{FaultMap, FaultRates};
+            pooled.install_faults(&FaultMap::generate(
+                4,
+                &FaultRates {
+                    stuck_at_max: 0.05,
+                    adc_offset: 1.0,
+                    transient_adc: 0.2,
+                    ..FaultRates::none()
+                },
+            ));
+        }
+        pooled.reset_from_template(&template);
+
+        // Behaviourally identical to a fresh clone: same reads, same regs,
+        // same noise stream, no faults, no wear.
+        let fresh = template.clone();
+        for row in [0usize, 1, 90, 127] {
+            assert_eq!(pooled.read_row(row), fresh.read_row(row));
+            assert_eq!(pooled.crossbar().row_writes(row), 0);
+        }
+        for reg in 0..4 {
+            assert_eq!(pooled.read_reg(reg), fresh.read_reg(reg));
+        }
+        assert_eq!(pooled.dynamic_mask(), fresh.dynamic_mask());
+        assert!(pooled.crossbar().fault_map().is_none());
+        assert!(!pooled.adc_fault_detected());
+        assert_eq!(pooled.lut(), fresh.lut());
+    }
+
+    #[test]
+    fn rearm_stream_generalizes_attempt_rearm() {
+        use crate::fault::{FaultMap, FaultRates};
+        let map = FaultMap::generate(
+            5,
+            &FaultRates {
+                transient_adc: 0.3,
+                ..FaultRates::none()
+            },
+        );
+        let run = |rearm: &dyn Fn(&mut ReramArray)| {
+            let mut a = array();
+            a.install_faults(&map);
+            rearm(&mut a);
+            a.write_row_broadcast(0, 1000);
+            a.write_row_broadcast(1, 2345);
+            a.execute_local(&Instruction::Add {
+                mask: RowMask::from_rows([0, 1]),
+                dst: Addr::mem(2),
+            })
+            .unwrap();
+            a.read_row(2)
+        };
+        // rearm_transients(attempt) is the stream variant at the legacy
+        // attempt-derived stream id.
+        assert_eq!(
+            run(&|a| a.rearm_transients(3)),
+            run(&|a| a.rearm_transients_stream(3u64.wrapping_mul(0x2545_F491_4F6C_DD1D)))
+        );
+        // Distinct streams draw distinct transients.
+        assert_ne!(
+            run(&|a| a.rearm_transients_stream(1)),
+            run(&|a| a.rearm_transients_stream(2))
+        );
+    }
+
+    /// Runs `inst` on fresh arrays with the fast path on and off and
+    /// checks outputs, traces, errors, and post-state agree exactly.
+    fn assert_fast_slow_equivalent(
+        setup: &dyn Fn(&mut ReramArray),
+        inst: &Instruction,
+        spec: AnalogSpec,
+    ) {
+        let mut fast = ReramArray::new(spec);
+        let mut slow = ReramArray::new(spec);
+        slow.set_fast_path_enabled(false);
+        setup(&mut fast);
+        setup(&mut slow);
+        let rf = fast.execute_local(inst);
+        let rs = slow.execute_local(inst);
+        match (rf, rs) {
+            (Ok(tf), Ok(ts)) => {
+                assert_eq!(tf, ts, "traces must match");
+                for row in 0..imp_isa::ARRAY_ROWS {
+                    assert_eq!(fast.read_row(row), slow.read_row(row), "row {row}");
+                }
+                for reg in 0..imp_isa::NUM_REGISTERS {
+                    assert_eq!(fast.read_reg(reg), slow.read_reg(reg), "reg {reg}");
+                }
+            }
+            (Err(ef), Err(es)) => assert_eq!(format!("{ef:?}"), format!("{es:?}")),
+            (rf, rs) => panic!("fast {rf:?} disagrees with slow {rs:?}"),
+        }
+    }
+
     proptest! {
+        #[test]
+        fn fast_path_add_equivalent(
+            values in prop::collection::vec(any::<i32>(), 2..10),
+            strict in any::<bool>(),
+        ) {
+            let spec = AnalogSpec { strict_adc: strict, ..AnalogSpec::integer() };
+            let n = values.len();
+            let vals = values.clone();
+            assert_fast_slow_equivalent(
+                &move |a| {
+                    for (row, &v) in vals.iter().enumerate() {
+                        a.write_row_broadcast(row, v);
+                    }
+                },
+                &Instruction::Add { mask: (0..n).collect(), dst: Addr::mem(100) },
+                spec,
+            );
+        }
+
+        #[test]
+        fn fast_path_sub_equivalent(x in any::<i32>(), y in any::<i32>()) {
+            assert_fast_slow_equivalent(
+                &move |a| {
+                    a.write_row_broadcast(0, x);
+                    a.write_row_broadcast(1, y);
+                },
+                &Instruction::Sub {
+                    minuend: RowMask::from_rows([0]),
+                    subtrahend: RowMask::from_rows([1]),
+                    dst: Addr::mem(2),
+                },
+                AnalogSpec::integer(),
+            );
+        }
+
+        #[test]
+        fn fast_path_mul_equivalent(x in any::<i32>(), y in any::<i32>(), q16 in any::<bool>()) {
+            let spec = if q16 { AnalogSpec::prototype() } else { AnalogSpec::integer() };
+            assert_fast_slow_equivalent(
+                &move |a| {
+                    a.write_row_broadcast(0, x);
+                    a.write_row_broadcast(1, y);
+                },
+                &Instruction::Mul { a: Addr::mem(0), b: Addr::mem(1), dst: Addr::mem(2) },
+                spec,
+            );
+        }
+
+        #[test]
+        fn fast_path_dot_equivalent(
+            rows in prop::collection::vec(any::<i32>(), 1..4),
+            weights in prop::collection::vec(any::<i32>(), 4),
+            strict in any::<bool>(),
+        ) {
+            let spec = AnalogSpec { strict_adc: strict, ..AnalogSpec::prototype() };
+            let k = rows.len();
+            let (r, w) = (rows.clone(), weights.clone());
+            assert_fast_slow_equivalent(
+                &move |a| {
+                    for (i, &v) in r.iter().enumerate() {
+                        a.write_row_broadcast(i, v);
+                    }
+                    for (i, &x) in w.iter().take(k).enumerate() {
+                        a.write_reg(i, [x; LANES]);
+                    }
+                },
+                &Instruction::Dot {
+                    mask: (0..k).collect(),
+                    reg_mask: (0..k).collect(),
+                    dst: Addr::mem(100),
+                },
+                spec,
+            );
+        }
+
         #[test]
         fn add_matches_wrapping_sum(values in prop::collection::vec(any::<i32>(), 2..8)) {
             let mut a = array();

@@ -51,6 +51,34 @@ impl Crossbar {
         self.faults.as_deref()
     }
 
+    /// Removes any installed fault population, restoring clean reads.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Restores the crossbar to the all-zero freshly-constructed state by
+    /// zeroing only the rows that have been written, and drops any
+    /// installed fault map. Reuses the existing allocations — this is the
+    /// array-pool reset path, equivalent to (but much cheaper than)
+    /// `*self = Crossbar::new()` because kernels touch a handful of rows
+    /// out of 128.
+    pub fn reset_dirty(&mut self) {
+        for (row, writes) in self.writes.iter_mut().enumerate() {
+            if *writes > 0 {
+                self.cells[row] = [0; ARRAY_COLS];
+                *writes = 0;
+            }
+        }
+        self.faults = None;
+    }
+
+    /// Direct view of the *programmed* digits of `row`, bypassing fault
+    /// sensing. Only equivalent to per-cell [`Crossbar::digit`] reads when
+    /// no fault map is installed — the fault-free fast path's precondition.
+    pub fn programmed_row(&self, row: usize) -> &[u8; ARRAY_COLS] {
+        &self.cells[row]
+    }
+
     /// Reads the 2-bit digit at (`row`, `col`) as the bit-line senses it
     /// (faults applied).
     ///
@@ -308,6 +336,22 @@ mod tests {
             !xb.integrity_scan().is_empty(),
             "worn row must fail the residue check"
         );
+    }
+
+    #[test]
+    fn reset_dirty_restores_fresh_state() {
+        use crate::fault::{FaultMap, FaultRates};
+        let mut xb = Crossbar::new();
+        xb.write_row(3, &[1, -2, 3, -4, 5, -6, 7, -8]);
+        xb.write_word(100, 2, 77);
+        xb.install_faults(FaultMap::generate(9, &FaultRates::none()));
+        xb.reset_dirty();
+        for row in 0..ARRAY_ROWS {
+            assert_eq!(xb.read_row(row), [0; LANES]);
+            assert_eq!(xb.row_writes(row), 0);
+        }
+        assert_eq!(xb.total_writes(), 0);
+        assert!(xb.fault_map().is_none());
     }
 
     proptest! {

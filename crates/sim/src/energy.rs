@@ -268,6 +268,25 @@ impl EnergyMeter {
             stats.flit_hops as f64 * FLIT_HOP_J + stats.reduction_adds as f64 * FLIT_HOP_J;
     }
 
+    /// Adds another meter's accumulated activity into this one.
+    ///
+    /// The parallel engine gives every instance group its own sub-meter
+    /// and merges them in ascending group order; because each float here
+    /// is a plain sum and addition happens in the same fixed order, the
+    /// merged totals are bit-identical whatever thread computed each
+    /// sub-meter.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        self.breakdown.adc_j += other.breakdown.adc_j;
+        self.breakdown.dac_j += other.breakdown.dac_j;
+        self.breakdown.array_j += other.breakdown.array_j;
+        self.breakdown.digital_j += other.breakdown.digital_j;
+        self.breakdown.lut_j += other.breakdown.lut_j;
+        self.breakdown.write_j += other.breakdown.write_j;
+        self.breakdown.noc_j += other.breakdown.noc_j;
+        self.adc_bit_samples += other.adc_bit_samples;
+        self.adc_samples += other.adc_samples;
+    }
+
     /// The accumulated breakdown.
     pub fn breakdown(&self) -> EnergyBreakdown {
         self.breakdown

@@ -211,6 +211,17 @@ pub fn mix_seed(fault_seed: u64, salt: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives an RNG stream id from the run's fault seed, a physical array
+/// slot, an instance group, and a recovery attempt, by chaining the
+/// [`mix_seed`] finalizer. Every `(seed, slot, group, attempt)` tuple gets
+/// an independent stream, so per-group random draws (ADC noise,
+/// transient glitches) do not depend on how many draws *other* groups
+/// made before — the property that makes parallel group execution
+/// bit-identical to serial.
+pub fn mix_seed4(fault_seed: u64, slot: u64, group: u64, attempt: u64) -> u64 {
+    mix_seed(mix_seed(mix_seed(fault_seed, slot), group), attempt)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

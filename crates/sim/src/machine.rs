@@ -2,7 +2,7 @@
 
 use crate::energy::{ArrayPower, EnergyBreakdown, EnergyMeter};
 use crate::fault::{
-    mix_seed, FaultConfig, FaultEvent, FaultKind, FaultPolicy, FaultSite, WatchdogConfig,
+    mix_seed, mix_seed4, FaultConfig, FaultEvent, FaultKind, FaultPolicy, FaultSite, WatchdogConfig,
 };
 use crate::lifetime;
 use crate::SimError;
@@ -18,6 +18,35 @@ use imp_noc::{
 };
 use imp_rram::{AnalogSpec, FaultMap, Fixed, ReramArray, ARRAY_CYCLE_S};
 use std::collections::HashMap;
+
+/// How [`Machine::run`] spreads instance groups over host threads.
+///
+/// Whatever the choice, results are **bit- and cycle-identical**: every
+/// group executes on private array and network state seeded purely from
+/// `(fault_seed, slot, group, attempt)`, and per-group outcomes are
+/// merged in ascending group order. Parallelism only changes wall-clock
+/// time, never the [`RunReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Execute groups one at a time on the calling thread.
+    Serial,
+    /// One worker per host core (rayon's thread count, which honours the
+    /// `RAYON_NUM_THREADS` environment variable). The default.
+    Auto,
+    /// Exactly this many workers (values of 0 behave like 1).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The number of worker shards this policy resolves to on this host.
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => rayon::current_num_threads().max(1),
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+}
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -48,6 +77,9 @@ pub struct SimConfig {
     pub transport: Option<TransportConfig>,
     /// Execution watchdog. `None` (the default) never times out.
     pub watchdog: Option<WatchdogConfig>,
+    /// Host-thread scheduling of instance groups. Never changes results
+    /// (see [`Parallelism`]); [`Parallelism::Auto`] by default.
+    pub parallelism: Parallelism,
 }
 
 impl SimConfig {
@@ -62,6 +94,7 @@ impl SimConfig {
             faults: None,
             transport: None,
             watchdog: None,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -76,6 +109,7 @@ impl SimConfig {
             faults: None,
             transport: None,
             watchdog: None,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -202,7 +236,12 @@ struct Attempt {
 #[derive(Debug)]
 pub struct Machine {
     config: SimConfig,
+    /// Prototype network view: topology, timing config, and the link
+    /// fault map. Workers clone it; it is never mutated after
+    /// construction.
     network: Network,
+    /// Table 4 per-component power, built once (hot-path hoist).
+    power: ArrayPower,
 }
 
 impl Machine {
@@ -215,7 +254,11 @@ impl Machine {
             let map = LinkFaultMap::generate(seed, &transport.rates, network.topology());
             network.set_transport(map, transport.policy);
         }
-        Machine { config, network }
+        Machine {
+            config,
+            network,
+            power: ArrayPower::from_table4(),
+        }
     }
 
     /// The configuration.
@@ -279,6 +322,28 @@ impl Machine {
         let mut fault_events: Vec<FaultEvent> = Vec::new();
         let mut instructions_executed = 0u64;
         let mut attempt_idx = 0u64;
+        // Attempt-invariant state, hoisted out of the retry loop: the
+        // per-IB array templates (LUT + register preloads over a pristine
+        // crossbar), the reduction-slot count, and the per-instance
+        // output buffer. Every `(output, Row-loc element, instance)` cell
+        // is rewritten on every attempt, and `Reduced` cells are never
+        // read, so the buffer needs no clearing between attempts.
+        let templates = self.build_templates(kernel, &raw_inputs)?;
+        let n_slots = kernel
+            .outputs
+            .iter()
+            .flat_map(|o| o.locs.iter())
+            .filter_map(|loc| match loc {
+                OutputLoc::Reduced { slot } => Some(slot + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let mut out_values: Vec<Vec<f64>> = kernel
+            .outputs
+            .iter()
+            .map(|o| vec![0.0; o.locs.len() * instances])
+            .collect();
         loop {
             let usable: Vec<usize> = avail.usable_slots().collect();
             let sched = schedule_override.as_ref().unwrap_or(&kernel.schedule);
@@ -290,6 +355,9 @@ impl Machine {
                 sched,
                 attempt_idx,
                 &mut meter,
+                &templates,
+                n_slots,
+                &mut out_values,
             )?;
             instructions_executed += attempt.instructions_executed;
             fault_events.extend(attempt.events.iter().cloned());
@@ -395,9 +463,18 @@ impl Machine {
 
     /// One complete execution attempt over the given usable arrays and
     /// schedule, with fault detection but no recovery decisions.
+    ///
+    /// This is the parallel engine's top half: it builds the shared
+    /// read-only [`EngineCtx`], shards the instance groups over worker
+    /// threads per [`SimConfig::parallelism`] (each worker owning a
+    /// pooled set of arrays and a private network timing view), then
+    /// merges the per-group outcomes in ascending group order. Because
+    /// every group's state and randomness derive only from
+    /// `(fault_seed, slot, group, attempt)`, the merged attempt is bit-
+    /// and cycle-identical whatever the worker count.
     #[allow(clippy::too_many_arguments)]
     fn run_once(
-        &mut self,
+        &self,
         kernel: &CompiledKernel,
         raw_inputs: &HashMap<String, (Vec<i32>, Shape)>,
         instances: usize,
@@ -405,9 +482,10 @@ impl Machine {
         sched: &Schedule,
         attempt_idx: u64,
         meter: &mut EnergyMeter,
+        templates: &[ReramArray],
+        n_slots: usize,
+        out_values: &mut [Vec<f64>],
     ) -> Result<Attempt, SimError> {
-        self.network.reset();
-        let format = kernel.format;
         let num_ibs = kernel.ibs.len().max(1);
         // The watchdog's cycle budget doubles as a per-transfer deadline,
         // cutting off retransmit storms inside the network.
@@ -415,190 +493,110 @@ impl Machine {
             w.max_cycles
                 .saturating_mul(imp_noc::NET_CYCLES_PER_ARRAY_CYCLE)
         });
-        let mut transport_events: Vec<FaultEvent> = Vec::new();
         let groups_total = instances.div_ceil(LANES).max(1);
         let groups_per_round = (usable.len() / num_ibs).max(1).min(groups_total);
         let rounds = groups_total.div_ceil(groups_per_round) as u64;
         let module_latency = sched.module_latency.max(1);
 
-        let power = ArrayPower::from_table4();
-        let mut events: Vec<FaultEvent> = Vec::new();
-        let mut instructions_executed = 0u64;
-        let mut writes_per_exec = 0u64;
-        // Reduction accumulators (wrapping 32-bit adds, as the router
-        // shift-and-add units perform).
-        let n_slots = kernel
-            .outputs
-            .iter()
-            .flat_map(|o| o.locs.iter())
-            .filter_map(|loc| match loc {
-                OutputLoc::Reduced { slot } => Some(slot + 1),
-                _ => None,
-            })
-            .max()
-            .unwrap_or(0);
-        let mut reduce_acc = vec![0i32; n_slots];
-        let mut trace: Option<Vec<TraceEvent>> = self.config.trace.then(Vec::new);
-        // Per-instance output buffers: (output idx, elem idx) → values.
-        let mut out_values: Vec<Vec<f64>> = kernel
-            .outputs
-            .iter()
-            .map(|o| vec![0.0; o.locs.len() * instances])
-            .collect();
+        // Per-(round-local slot) fault populations, generated once per
+        // attempt: a fault map is a property of the *physical array*
+        // (seeded by its slot alone), so every group mapped onto the
+        // same slot sees the same population.
+        let fault_maps: Vec<FaultMap> = match &self.config.faults {
+            Some(cfg) => (0..groups_per_round * num_ibs)
+                .map(|i| {
+                    FaultMap::generate(
+                        mix_seed(
+                            self.config.fault_seed ^ 0xFA17_FA17_FA17_FA17,
+                            usable[i] as u64,
+                        ),
+                        &cfg.rates,
+                    )
+                })
+                .collect(),
+            None => Vec::new(),
+        };
 
-        for group in 0..groups_total {
-            let valid_lanes = (instances - group * LANES).min(LANES);
-            // The round this group belongs to (for network timestamps).
-            let round = (group / groups_per_round) as u64;
-            let group_in_round = group % groups_per_round;
-            let mut arrays = self.build_group(
-                kernel,
-                group,
-                valid_lanes,
-                raw_inputs,
-                instances,
-                usable,
-                group_in_round,
-                attempt_idx,
-            )?;
-            let round_base_net = round * module_latency * imp_noc::NET_CYCLES_PER_ARRAY_CYCLE;
-            for entry in &sched.entries {
-                let inst = kernel.ibs[entry.ib].block.instructions()[entry.index];
-                instructions_executed += 1;
-                let mut lane0_result = None;
-                match inst {
-                    Instruction::Movg { src, dst } => {
-                        let (src_ib, src_row) = as_cross_ib(src).expect("virtual movg source");
-                        let (dst_ib, dst_row) = as_cross_ib(dst).expect("virtual movg destination");
-                        let value = arrays[src_ib].read_row(src_row as usize);
-                        let src_tile = self.tile_of(usable, group_in_round, num_ibs, src_ib);
-                        let dst_tile = self.tile_of(usable, group_in_round, num_ibs, dst_ib);
-                        let now =
-                            round_base_net + entry.start * imp_noc::NET_CYCLES_PER_ARRAY_CYCLE;
-                        let site = FaultSite {
-                            round,
-                            group,
-                            ib: dst_ib,
-                            physical_slot: usable[group_in_round * num_ibs + dst_ib],
-                        };
-                        match self.network.transfer(
-                            src_tile,
-                            dst_tile,
-                            &value,
-                            32,
-                            now,
-                            net_deadline,
-                        ) {
-                            Ok(delivery) => {
-                                for ev in &delivery.events {
-                                    transport_events.push(transport_fault_event(site, ev));
-                                }
-                                // A dropped message (Silent over a dead
-                                // link) leaves the stale destination row.
-                                if let Some(words) = delivery.payload {
-                                    let mut row = [0i32; LANES];
-                                    row.copy_from_slice(&words);
-                                    arrays[dst_ib].write_row(dst_row as usize, &row);
-                                }
-                            }
-                            Err(ev) => return Err(self.transport_error(site, ev)),
-                        }
-                    }
-                    Instruction::ReduceSum { src, dst } => {
-                        let slot = as_output_slot(dst).expect("virtual reduce target");
-                        let row = arrays[entry.ib].read_row(src.index());
-                        for &value in row.iter().take(valid_lanes) {
-                            reduce_acc[slot] = reduce_acc[slot].wrapping_add(value);
-                        }
-                    }
-                    ref local => {
-                        let op_trace = arrays[entry.ib].execute_local(local).map_err(|source| {
-                            SimError::Array {
-                                site: Some(FaultSite {
-                                    round,
-                                    group,
-                                    ib: entry.ib,
-                                    physical_slot: usable[group_in_round * num_ibs + entry.ib],
-                                }),
-                                source,
-                            }
-                        })?;
-                        meter.record_op(&op_trace, &power);
-                        if group == 0 {
-                            lane0_result = local.local_dst().map(|dst| match dst {
-                                imp_isa::Addr::Mem(row) => {
-                                    arrays[entry.ib].read_word(row as usize, 0)
-                                }
-                                imp_isa::Addr::Reg(reg) => {
-                                    arrays[entry.ib].read_reg(reg as usize)[0]
-                                }
-                            });
-                        }
-                    }
-                }
-                if group == 0 {
-                    if let Some(events) = trace.as_mut() {
-                        events.push(TraceEvent {
-                            cycle: entry.start,
-                            ib: entry.ib,
-                            instruction: inst,
-                            lane0_result,
-                        });
-                    }
-                }
+        let ctx = EngineCtx {
+            kernel,
+            raw_inputs,
+            usable,
+            sched,
+            templates,
+            fault_maps,
+            faults_on: self.config.faults.is_some(),
+            trace_on: self.config.trace,
+            instances,
+            groups_per_round,
+            num_ibs,
+            module_latency,
+            net_deadline,
+            n_slots,
+            attempt_idx,
+            fault_seed: self.config.fault_seed,
+            arrays_per_tile: self.config.capacity.clusters_per_tile
+                * self.config.capacity.arrays_per_cluster,
+            tiles: self.config.capacity.tiles,
+            watchdog_limit: self.config.watchdog.as_ref().map_or(0, |w| w.max_cycles),
+            network_proto: &self.network,
+            power: &self.power,
+        };
+
+        let workers = self.config.parallelism.workers().min(groups_total).max(1);
+        let mut results: Vec<Option<Result<GroupOutcome, SimError>>> =
+            (0..groups_total).map(|_| None).collect();
+        if workers == 1 {
+            let mut worker = Worker::new(&ctx);
+            for (group, slot) in results.iter_mut().enumerate() {
+                *slot = Some(run_group(&ctx, &mut worker, group));
             }
-            // Write-back-boundary integrity checks: residue scan over
-            // every crossbar, plus the latched ADC duplicate-conversion
-            // disagreement flag. Free in cycles (overlapped with the
-            // write-back stage, see [`crate::fault`]); only recovery
-            // costs time.
-            if self.config.faults.is_some() {
-                let detect_cycle = (round + 1) * module_latency;
-                for (ib, array) in arrays.iter().enumerate() {
-                    let site = FaultSite {
-                        round,
-                        group,
-                        ib,
-                        physical_slot: usable[group_in_round * num_ibs + ib],
-                    };
-                    let corrupted = array.crossbar().integrity_scan();
-                    if !corrupted.is_empty() {
-                        events.push(FaultEvent {
-                            site,
-                            cycle: detect_cycle,
-                            kind: FaultKind::Cell {
-                                corrupted_columns: corrupted,
-                            },
-                        });
-                    }
-                    if array.adc_fault_detected() {
-                        events.push(FaultEvent {
-                            site,
-                            cycle: detect_cycle,
-                            kind: FaultKind::Adc,
-                        });
-                    }
-                }
-            }
-            // Harvest per-instance outputs.
-            for (out_idx, output) in kernel.outputs.iter().enumerate() {
-                for (elem, loc) in output.locs.iter().enumerate() {
-                    if let OutputLoc::Row { ib, row } = *loc {
-                        let values = arrays[ib].read_row(row as usize);
-                        for (lane, &word) in values.iter().enumerate().take(valid_lanes) {
-                            let instance = group * LANES + lane;
-                            out_values[out_idx][elem * instances + instance] =
-                                Fixed::from_raw(word, format).to_f64();
+        } else {
+            // Contiguous shards keep each worker's groups cache-friendly;
+            // the merge below re-serializes in ascending group order.
+            let chunk = groups_total.div_ceil(workers);
+            rayon::scope(|s| {
+                for (w, shard) in results.chunks_mut(chunk).enumerate() {
+                    let ctx = &ctx;
+                    s.spawn(move |_| {
+                        let mut worker = Worker::new(ctx);
+                        for (i, slot) in shard.iter_mut().enumerate() {
+                            let group = w * chunk + i;
+                            *slot = Some(run_group(ctx, &mut worker, group));
                         }
-                    }
+                    });
                 }
+            });
+        }
+
+        // Deterministic merge in ascending group order: wrapping adds for
+        // the reduction slots, fixed-order float accumulation for energy,
+        // per-group-contiguous event streams. The lowest-group error (the
+        // one the serial engine would have hit first) wins.
+        let mut reduce_acc = vec![0i32; n_slots];
+        let mut trace: Option<Vec<TraceEvent>> = None;
+        let mut events: Vec<FaultEvent> = Vec::new();
+        let mut transport_events: Vec<FaultEvent> = Vec::new();
+        let mut noc = NocStats::default();
+        let mut writes_per_exec = 0u64;
+        let mut instructions_executed = 0u64;
+        for (group, slot) in results.into_iter().enumerate() {
+            let outcome = slot.expect("every group executed")?;
+            for (acc, &part) in reduce_acc.iter_mut().zip(&outcome.reduce_acc) {
+                *acc = acc.wrapping_add(part);
             }
-            let wear = arrays
-                .iter()
-                .map(|a| a.crossbar().total_writes())
-                .max()
-                .unwrap_or(0);
-            writes_per_exec = writes_per_exec.max(wear);
+            for (out_idx, elem, values) in outcome.harvest {
+                let base = elem * instances + group * LANES;
+                out_values[out_idx][base..base + values.len()].copy_from_slice(&values);
+            }
+            if outcome.trace.is_some() {
+                trace = outcome.trace;
+            }
+            events.extend(outcome.events);
+            transport_events.extend(outcome.transport_events);
+            noc.merge(&outcome.noc);
+            meter.merge(&outcome.meter);
+            writes_per_exec = writes_per_exec.max(outcome.wear);
+            instructions_executed += outcome.instructions;
         }
 
         // One in-network reduction per round, over the tiles the round's
@@ -609,7 +607,7 @@ impl Machine {
         let mut reduce_tail_cycles = 0u64;
         if n_slots > 0 {
             let tiles: Vec<usize> = (0..groups_per_round)
-                .map(|g| self.tile_of(usable, g, num_ibs, 0))
+                .map(|g| tile_of(&ctx, g, 0))
                 .collect::<std::collections::BTreeSet<_>>()
                 .into_iter()
                 .collect();
@@ -619,14 +617,12 @@ impl Machine {
                 ib: 0,
                 physical_slot: usable[0],
             };
-            match self.network.reduce_transfer(
-                &tiles,
-                0,
-                &reduce_acc,
-                32 * n_slots,
-                0,
-                net_deadline,
-            ) {
+            // The reduction samples transport faults from its own
+            // message-id band, above every group's band.
+            let mut net = self.network.clone();
+            net.reset();
+            net.set_next_msg_id(groups_total as u64 * MSG_ID_STRIDE);
+            match net.reduce_transfer(&tiles, 0, &reduce_acc, 32 * n_slots, 0, net_deadline) {
                 Ok(delivery) => {
                     for ev in &delivery.events {
                         transport_events.push(transport_fault_event(site, ev));
@@ -635,13 +631,13 @@ impl Machine {
                     // A dropped reduction loses the sums entirely.
                     reduce_acc = delivery.payload.unwrap_or_else(|| vec![0i32; n_slots]);
                 }
-                Err(ev) => return Err(self.transport_error(site, ev)),
+                Err(ev) => return Err(transport_error(ctx.watchdog_limit, site, ev)),
             }
+            noc.merge(&net.stats());
         }
-        meter.record_noc(&self.network.stats());
+        meter.record_noc(&noc);
 
-        let transport_overhead_cycles =
-            imp_noc::net_to_array_cycles(self.network.stats().retransmit_cycles);
+        let transport_overhead_cycles = imp_noc::net_to_array_cycles(noc.retransmit_cycles);
         let cycles = rounds * module_latency + reduce_tail_cycles + transport_overhead_cycles;
         // Accelerator-mode loading estimate: every group's input rows and
         // register preloads stream in through the external I/O port.
@@ -654,6 +650,7 @@ impl Machine {
         let load_cycles = (load_seconds / ARRAY_CYCLE_S).ceil() as u64;
 
         // Assemble output tensors.
+        let format = kernel.format;
         let mut outputs = HashMap::new();
         let mut variable_updates = HashMap::new();
         for (out_idx, output) in kernel.outputs.iter().enumerate() {
@@ -699,7 +696,7 @@ impl Machine {
             load_cycles,
             writes_per_exec,
             instructions_executed,
-            noc: self.network.stats(),
+            noc,
             trace,
             events,
             transport_events,
@@ -707,58 +704,22 @@ impl Machine {
         })
     }
 
-    /// Maps a fatal transport error to the right [`SimError`]: deadline
-    /// overruns become [`SimError::Timeout`], everything else surfaces as
-    /// an unrecovered fault.
-    fn transport_error(&self, site: FaultSite, ev: TransportEvent) -> SimError {
-        if let TransportFaultKind::DeadlineExceeded { spent_net_cycles } = ev.kind {
-            return SimError::Timeout {
-                limit_cycles: self.config.watchdog.as_ref().map_or(0, |w| w.max_cycles),
-                spent_cycles: imp_noc::net_to_array_cycles(spent_net_cycles),
-            };
-        }
-        SimError::Faults(vec![transport_fault_event(site, &ev)])
-    }
-
-    /// Physical tile of IB `ib` of round-local group `g` (groups packed
-    /// densely across the chip's *usable* arrays).
-    fn tile_of(&self, usable: &[usize], group_in_round: usize, num_ibs: usize, ib: usize) -> usize {
-        let arrays_per_tile =
-            self.config.capacity.clusters_per_tile * self.config.capacity.arrays_per_cluster;
-        let flat = usable[group_in_round * num_ibs + ib];
-        (flat / arrays_per_tile) % self.config.capacity.tiles
-    }
-
-    /// Instantiates and loads the arrays of one instance group.
-    #[allow(clippy::too_many_arguments)]
-    fn build_group(
+    /// Builds the per-IB immutable template arrays for this kernel: the
+    /// analog spec at the kernel's fixed-point format, the LUT contents,
+    /// and the register preloads — all group-independent — over a
+    /// pristine crossbar. Workers clone these once, then
+    /// [`ReramArray::reset_from_template`] restores pooled arrays between
+    /// groups instead of rebuilding them.
+    fn build_templates(
         &self,
         kernel: &CompiledKernel,
-        group: usize,
-        valid_lanes: usize,
         raw_inputs: &HashMap<String, (Vec<i32>, Shape)>,
-        instances: usize,
-        usable: &[usize],
-        group_in_round: usize,
-        attempt_idx: u64,
     ) -> Result<Vec<ReramArray>, SimError> {
         let mut analog = self.config.analog;
         analog.frac_bits = kernel.format.frac_bits();
-        let num_ibs = kernel.ibs.len().max(1);
-        let mut arrays = Vec::with_capacity(kernel.ibs.len());
-        for (ib_index, ib) in kernel.ibs.iter().enumerate() {
-            let slot = usable[group_in_round * num_ibs + ib_index] as u64;
+        let mut templates = Vec::with_capacity(kernel.ibs.len());
+        for ib in &kernel.ibs {
             let mut array = ReramArray::new(analog);
-            // Deterministic, distinct noise stream per physical array.
-            array.set_fault_seed(mix_seed(self.config.fault_seed, slot));
-            if let Some(cfg) = &self.config.faults {
-                let map = FaultMap::generate(
-                    mix_seed(self.config.fault_seed ^ 0xFA17_FA17_FA17_FA17, slot),
-                    &cfg.rates,
-                );
-                array.install_faults(&map);
-                array.rearm_transients(attempt_idx);
-            }
             array.set_lut(ib.lut.clone());
             // Register preloads (broadcast across lanes; `dot` streams
             // lane 0, per-lane values are never needed for weights).
@@ -778,87 +739,358 @@ impl Machine {
                 };
                 array.write_reg(*reg as usize, [raw; LANES]);
             }
-            // Input rows.
-            for (row, binding) in &ib.input_rows {
-                let mut words = [0i32; LANES];
-                for (lane, word) in words.iter_mut().enumerate() {
-                    // Pad lanes beyond the data replicate the group's
-                    // first instance so non-linear ops stay in-domain;
-                    // reductions only sum valid lanes.
-                    let lane_instance = group * LANES + lane.min(valid_lanes.saturating_sub(1));
-                    *word = self.fetch_input(
-                        binding,
-                        lane_instance.min(instances.saturating_sub(1)),
-                        raw_inputs,
-                        kernel,
-                    )?;
-                }
-                array.write_row(*row as usize, &words);
-            }
-            arrays.push(array);
+            templates.push(array);
         }
-        Ok(arrays)
+        Ok(templates)
+    }
+}
+
+/// Message-id band assigned to each instance group; the final in-network
+/// reduction uses band `groups_total`. Transport fault sampling is a pure
+/// function of `(message id, attempt, link)`, so disjoint per-group bands
+/// decouple fault draws from the order in which groups execute.
+const MSG_ID_STRIDE: u64 = 1 << 32;
+
+/// Salt separating the transient-glitch stream from the ADC-noise stream
+/// derived from the same `(fault_seed, slot, group, attempt)` tuple.
+const TRANSIENT_STREAM_SALT: u64 = 0x7261_6E51_6C69_7463;
+
+/// Read-only state shared by every worker during one attempt.
+struct EngineCtx<'a> {
+    kernel: &'a CompiledKernel,
+    raw_inputs: &'a HashMap<String, (Vec<i32>, Shape)>,
+    usable: &'a [usize],
+    sched: &'a Schedule,
+    templates: &'a [ReramArray],
+    /// Per-(round-local slot) fault maps, indexed
+    /// `group_in_round * num_ibs + ib`; empty when the fault model is off.
+    fault_maps: Vec<FaultMap>,
+    faults_on: bool,
+    trace_on: bool,
+    instances: usize,
+    groups_per_round: usize,
+    num_ibs: usize,
+    module_latency: u64,
+    net_deadline: Option<u64>,
+    n_slots: usize,
+    attempt_idx: u64,
+    fault_seed: u64,
+    arrays_per_tile: usize,
+    tiles: usize,
+    watchdog_limit: u64,
+    network_proto: &'a Network,
+    power: &'a ArrayPower,
+}
+
+/// One worker shard's private mutable state: a pooled array per IB and a
+/// private network timing view, both fully re-initialized per group.
+struct Worker {
+    arrays: Vec<ReramArray>,
+    network: Network,
+}
+
+impl Worker {
+    fn new(ctx: &EngineCtx) -> Self {
+        Worker {
+            arrays: ctx.templates.to_vec(),
+            network: ctx.network_proto.clone(),
+        }
+    }
+}
+
+/// Everything one instance group's execution produces, merged by
+/// [`Machine::run_once`] in ascending group order.
+struct GroupOutcome {
+    /// This group's contribution to each reduction slot (wrapping adds).
+    reduce_acc: Vec<i32>,
+    /// Per-instance outputs: `(output idx, elem idx, valid-lane values)`.
+    harvest: Vec<(usize, usize, Vec<f64>)>,
+    trace: Option<Vec<TraceEvent>>,
+    events: Vec<FaultEvent>,
+    transport_events: Vec<FaultEvent>,
+    noc: NocStats,
+    meter: EnergyMeter,
+    wear: u64,
+    instructions: u64,
+}
+
+/// Executes one instance group on `worker`, returning its complete
+/// outcome. Pure in `(ctx, group)`: worker state is fully re-initialized
+/// at entry (arrays reset from the templates; network occupancy, stats,
+/// and message-id band reset), so the result cannot depend on what the
+/// worker ran before — the keystone of serial/parallel equivalence.
+fn run_group(ctx: &EngineCtx, worker: &mut Worker, group: usize) -> Result<GroupOutcome, SimError> {
+    let kernel = ctx.kernel;
+    let num_ibs = ctx.num_ibs;
+    let valid_lanes = (ctx.instances - group * LANES).min(LANES);
+    // The round this group belongs to (for network timestamps).
+    let round = (group / ctx.groups_per_round) as u64;
+    let group_in_round = group % ctx.groups_per_round;
+
+    worker.network.reset();
+    worker.network.set_next_msg_id(group as u64 * MSG_ID_STRIDE);
+
+    for (ib_index, ib) in kernel.ibs.iter().enumerate() {
+        let array = &mut worker.arrays[ib_index];
+        array.reset_from_template(&ctx.templates[ib_index]);
+        let slot = ctx.usable[group_in_round * num_ibs + ib_index] as u64;
+        // Deterministic, order-independent noise stream per
+        // (physical array, group, attempt).
+        array.set_fault_seed(mix_seed4(
+            ctx.fault_seed,
+            slot,
+            group as u64,
+            ctx.attempt_idx,
+        ));
+        if ctx.faults_on {
+            array.install_faults(&ctx.fault_maps[group_in_round * num_ibs + ib_index]);
+            array.rearm_transients_stream(mix_seed4(
+                ctx.fault_seed ^ TRANSIENT_STREAM_SALT,
+                slot,
+                group as u64,
+                ctx.attempt_idx,
+            ));
+        }
+        // Input rows.
+        for (row, binding) in &ib.input_rows {
+            let mut words = [0i32; LANES];
+            for (lane, word) in words.iter_mut().enumerate() {
+                // Pad lanes beyond the data replicate the group's
+                // first instance so non-linear ops stay in-domain;
+                // reductions only sum valid lanes.
+                let lane_instance = group * LANES + lane.min(valid_lanes.saturating_sub(1));
+                *word = fetch_input(
+                    kernel,
+                    binding,
+                    lane_instance.min(ctx.instances.saturating_sub(1)),
+                    ctx.raw_inputs,
+                )?;
+            }
+            array.write_row(*row as usize, &words);
+        }
     }
 
-    fn fetch_input(
-        &self,
-        binding: &InputBinding,
-        instance: usize,
-        raw_inputs: &HashMap<String, (Vec<i32>, Shape)>,
-        kernel: &CompiledKernel,
-    ) -> Result<i32, SimError> {
-        let lookup = |name: &str| {
-            raw_inputs
-                .get(name)
-                .ok_or_else(|| SimError::MissingInput(name.to_string()))
-        };
-        match binding {
-            InputBinding::Element {
-                name,
-                intra_idx,
-                intra_len,
-            } => {
-                let (data, _) = lookup(name)?;
-                let n = match kernel.parallel {
-                    ParallelSpec::Vector { n } => n,
-                    ParallelSpec::Stencil { h, w } => h * w,
-                    ParallelSpec::None => 1,
+    let mut outcome = GroupOutcome {
+        reduce_acc: vec![0i32; ctx.n_slots],
+        harvest: Vec::new(),
+        trace: (ctx.trace_on && group == 0).then(Vec::new),
+        events: Vec::new(),
+        transport_events: Vec::new(),
+        noc: NocStats::default(),
+        meter: EnergyMeter::new(),
+        wear: 0,
+        instructions: ctx.sched.entries.len() as u64,
+    };
+    let arrays = &mut worker.arrays;
+    let round_base_net = round * ctx.module_latency * imp_noc::NET_CYCLES_PER_ARRAY_CYCLE;
+    for entry in &ctx.sched.entries {
+        let inst = kernel.ibs[entry.ib].block.instructions()[entry.index];
+        let mut lane0_result = None;
+        match inst {
+            Instruction::Movg { src, dst } => {
+                let (src_ib, src_row) = as_cross_ib(src).expect("virtual movg source");
+                let (dst_ib, dst_row) = as_cross_ib(dst).expect("virtual movg destination");
+                let value = arrays[src_ib].read_row(src_row as usize);
+                let src_tile = tile_of(ctx, group_in_round, src_ib);
+                let dst_tile = tile_of(ctx, group_in_round, dst_ib);
+                let now = round_base_net + entry.start * imp_noc::NET_CYCLES_PER_ARRAY_CYCLE;
+                let site = FaultSite {
+                    round,
+                    group,
+                    ib: dst_ib,
+                    physical_slot: ctx.usable[group_in_round * num_ibs + dst_ib],
                 };
-                let flat = intra_idx * n + instance;
-                data.get(flat).copied().ok_or_else(|| SimError::InputShape {
+                match worker
+                    .network
+                    .transfer(src_tile, dst_tile, &value, 32, now, ctx.net_deadline)
+                {
+                    Ok(delivery) => {
+                        for ev in &delivery.events {
+                            outcome
+                                .transport_events
+                                .push(transport_fault_event(site, ev));
+                        }
+                        // A dropped message (Silent over a dead
+                        // link) leaves the stale destination row.
+                        if let Some(words) = delivery.payload {
+                            let mut row = [0i32; LANES];
+                            row.copy_from_slice(&words);
+                            arrays[dst_ib].write_row(dst_row as usize, &row);
+                        }
+                    }
+                    Err(ev) => return Err(transport_error(ctx.watchdog_limit, site, ev)),
+                }
+            }
+            Instruction::ReduceSum { src, dst } => {
+                let slot = as_output_slot(dst).expect("virtual reduce target");
+                let row = arrays[entry.ib].read_row(src.index());
+                for &value in row.iter().take(valid_lanes) {
+                    outcome.reduce_acc[slot] = outcome.reduce_acc[slot].wrapping_add(value);
+                }
+            }
+            ref local => {
+                let op_trace =
+                    arrays[entry.ib]
+                        .execute_local(local)
+                        .map_err(|source| SimError::Array {
+                            site: Some(FaultSite {
+                                round,
+                                group,
+                                ib: entry.ib,
+                                physical_slot: ctx.usable[group_in_round * num_ibs + entry.ib],
+                            }),
+                            source,
+                        })?;
+                outcome.meter.record_op(&op_trace, ctx.power);
+                if outcome.trace.is_some() {
+                    lane0_result = local.local_dst().map(|dst| match dst {
+                        imp_isa::Addr::Mem(row) => arrays[entry.ib].read_word(row as usize, 0),
+                        imp_isa::Addr::Reg(reg) => arrays[entry.ib].read_reg(reg as usize)[0],
+                    });
+                }
+            }
+        }
+        if let Some(trace_events) = outcome.trace.as_mut() {
+            trace_events.push(TraceEvent {
+                cycle: entry.start,
+                ib: entry.ib,
+                instruction: inst,
+                lane0_result,
+            });
+        }
+    }
+    // Write-back-boundary integrity checks: residue scan over every
+    // crossbar, plus the latched ADC duplicate-conversion disagreement
+    // flag. Free in cycles (overlapped with the write-back stage, see
+    // [`crate::fault`]); only recovery costs time.
+    if ctx.faults_on {
+        let detect_cycle = (round + 1) * ctx.module_latency;
+        for (ib, array) in arrays.iter().enumerate() {
+            let site = FaultSite {
+                round,
+                group,
+                ib,
+                physical_slot: ctx.usable[group_in_round * num_ibs + ib],
+            };
+            let corrupted = array.crossbar().integrity_scan();
+            if !corrupted.is_empty() {
+                outcome.events.push(FaultEvent {
+                    site,
+                    cycle: detect_cycle,
+                    kind: FaultKind::Cell {
+                        corrupted_columns: corrupted,
+                    },
+                });
+            }
+            if array.adc_fault_detected() {
+                outcome.events.push(FaultEvent {
+                    site,
+                    cycle: detect_cycle,
+                    kind: FaultKind::Adc,
+                });
+            }
+        }
+    }
+    // Harvest per-instance outputs.
+    for (out_idx, output) in kernel.outputs.iter().enumerate() {
+        for (elem, loc) in output.locs.iter().enumerate() {
+            if let OutputLoc::Row { ib, row } = *loc {
+                let values = arrays[ib].read_row(row as usize);
+                let converted: Vec<f64> = values
+                    .iter()
+                    .take(valid_lanes)
+                    .map(|&word| Fixed::from_raw(word, kernel.format).to_f64())
+                    .collect();
+                outcome.harvest.push((out_idx, elem, converted));
+            }
+        }
+    }
+    outcome.wear = arrays
+        .iter()
+        .map(|a| a.crossbar().total_writes())
+        .max()
+        .unwrap_or(0);
+    outcome.noc = worker.network.stats();
+    Ok(outcome)
+}
+
+/// Maps a fatal transport error to the right [`SimError`]: deadline
+/// overruns become [`SimError::Timeout`], everything else surfaces as an
+/// unrecovered fault.
+fn transport_error(watchdog_limit: u64, site: FaultSite, ev: TransportEvent) -> SimError {
+    if let TransportFaultKind::DeadlineExceeded { spent_net_cycles } = ev.kind {
+        return SimError::Timeout {
+            limit_cycles: watchdog_limit,
+            spent_cycles: imp_noc::net_to_array_cycles(spent_net_cycles),
+        };
+    }
+    SimError::Faults(vec![transport_fault_event(site, &ev)])
+}
+
+/// Physical tile of IB `ib` of round-local group `g` (groups packed
+/// densely across the chip's *usable* arrays).
+fn tile_of(ctx: &EngineCtx, group_in_round: usize, ib: usize) -> usize {
+    let flat = ctx.usable[group_in_round * ctx.num_ibs + ib];
+    (flat / ctx.arrays_per_tile) % ctx.tiles
+}
+
+fn fetch_input(
+    kernel: &CompiledKernel,
+    binding: &InputBinding,
+    instance: usize,
+    raw_inputs: &HashMap<String, (Vec<i32>, Shape)>,
+) -> Result<i32, SimError> {
+    let lookup = |name: &str| {
+        raw_inputs
+            .get(name)
+            .ok_or_else(|| SimError::MissingInput(name.to_string()))
+    };
+    match binding {
+        InputBinding::Element {
+            name,
+            intra_idx,
+            intra_len,
+        } => {
+            let (data, _) = lookup(name)?;
+            let n = match kernel.parallel {
+                ParallelSpec::Vector { n } => n,
+                ParallelSpec::Stencil { h, w } => h * w,
+                ParallelSpec::None => 1,
+            };
+            let flat = intra_idx * n + instance;
+            data.get(flat).copied().ok_or_else(|| SimError::InputShape {
+                name: name.clone(),
+                expect: format!(
+                    "{} elements ({} intra × {} instances)",
+                    intra_len * n,
+                    intra_len,
+                    n
+                ),
+                got: format!("{} elements", data.len()),
+            })
+        }
+        InputBinding::Shared { name, flat_idx } => {
+            let (data, _) = lookup(name)?;
+            data.get(*flat_idx)
+                .copied()
+                .ok_or_else(|| SimError::InputShape {
                     name: name.clone(),
-                    expect: format!(
-                        "{} elements ({} intra × {} instances)",
-                        intra_len * n,
-                        intra_len,
-                        n
-                    ),
+                    expect: format!("at least {} elements", flat_idx + 1),
                     got: format!("{} elements", data.len()),
                 })
-            }
-            InputBinding::Shared { name, flat_idx } => {
-                let (data, _) = lookup(name)?;
-                data.get(*flat_idx)
-                    .copied()
-                    .ok_or_else(|| SimError::InputShape {
-                        name: name.clone(),
-                        expect: format!("at least {} elements", flat_idx + 1),
-                        got: format!("{} elements", data.len()),
-                    })
-            }
-            InputBinding::Window { name, dr, dc } => {
-                let (data, shape) = lookup(name)?;
-                let (h, w) = match kernel.parallel {
-                    ParallelSpec::Stencil { h, w } => (h, w),
-                    _ => (shape.dim(0), shape.dim(1)),
-                };
-                let r = (instance / w) as isize + dr;
-                let c = (instance % w) as isize + dc;
-                if r < 0 || r >= h as isize || c < 0 || c >= w as isize {
-                    Ok(0) // SAME zero padding
-                } else {
-                    Ok(data[r as usize * w + c as usize])
-                }
+        }
+        InputBinding::Window { name, dr, dc } => {
+            let (data, shape) = lookup(name)?;
+            let (h, w) = match kernel.parallel {
+                ParallelSpec::Stencil { h, w } => (h, w),
+                _ => (shape.dim(0), shape.dim(1)),
+            };
+            let r = (instance / w) as isize + dr;
+            let c = (instance % w) as isize + dc;
+            if r < 0 || r >= h as isize || c < 0 || c >= w as isize {
+                Ok(0) // SAME zero padding
+            } else {
+                Ok(data[r as usize * w + c as usize])
             }
         }
     }

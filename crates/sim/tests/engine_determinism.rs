@@ -1,0 +1,243 @@
+//! Engine-determinism properties: `Machine::run` under the parallel
+//! group engine returns a [`RunReport`] that is bit- and cycle-identical
+//! to serial execution for every worker count, across fault-free,
+//! fault-injected, and transport-faulted configurations.
+//!
+//! This is the acceptance gate for [`Parallelism`]: sharding instance
+//! groups over host threads may only change wall-clock time, never a
+//! single field of the report.
+
+use imp_compiler::{compile, CompileOptions, CompiledKernel, OptPolicy};
+use imp_dfg::{GraphBuilder, Shape, Tensor};
+use imp_rram::FaultRates;
+use imp_sim::{
+    FaultConfig, FaultPolicy, LinkFaultRates, Machine, Parallelism, RunReport, SimConfig,
+    TransportConfig, TransportPolicy,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One of three kernel shapes: an elementwise chain (per-instance
+/// outputs only), a cross-tile reduction (rides the H-tree adder tree),
+/// or both output kinds at once.
+fn build_kernel(kind: u8, n: usize) -> (CompiledKernel, HashMap<String, Tensor>) {
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", Shape::vector(n)).unwrap();
+    let sq = g.square(x).unwrap();
+    match kind % 3 {
+        0 => {
+            let y = g.add(sq, x).unwrap();
+            g.fetch(y);
+        }
+        1 => {
+            let s = g.sum(sq, 0).unwrap();
+            g.fetch(s);
+        }
+        _ => {
+            let s = g.sum(sq, 0).unwrap();
+            g.fetch(sq);
+            g.fetch(s);
+        }
+    }
+    let kernel = compile(
+        &g.finish(),
+        &CompileOptions {
+            policy: OptPolicy::MaxDlp,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let inputs = [(
+        "x".to_string(),
+        Tensor::from_fn(Shape::vector(n), |i| ((i % 53) as f64) / 16.0 - 1.5),
+    )]
+    .into_iter()
+    .collect();
+    (kernel, inputs)
+}
+
+/// Field-by-field equality over the whole report. Floats compare by bit
+/// pattern: "close" is not the claim, *identical* is.
+fn assert_identical(a: &RunReport, b: &RunReport, tag: &str) {
+    assert_eq!(a.outputs, b.outputs, "{tag}: outputs");
+    assert_eq!(a.variable_updates, b.variable_updates, "{tag}: variables");
+    assert_eq!(a.instances, b.instances, "{tag}: instances");
+    assert_eq!(a.rounds, b.rounds, "{tag}: rounds");
+    assert_eq!(a.cycles, b.cycles, "{tag}: cycles");
+    assert_eq!(a.load_cycles, b.load_cycles, "{tag}: load_cycles");
+    assert_eq!(a.seconds.to_bits(), b.seconds.to_bits(), "{tag}: seconds");
+    assert_eq!(a.energy, b.energy, "{tag}: energy");
+    assert_eq!(
+        a.avg_power_w.to_bits(),
+        b.avg_power_w.to_bits(),
+        "{tag}: avg_power_w"
+    );
+    assert_eq!(
+        a.avg_adc_bits.to_bits(),
+        b.avg_adc_bits.to_bits(),
+        "{tag}: avg_adc_bits"
+    );
+    assert_eq!(a.noc, b.noc, "{tag}: noc stats");
+    assert_eq!(a.writes_per_exec, b.writes_per_exec, "{tag}: wear");
+    assert_eq!(
+        a.lifetime_years.to_bits(),
+        b.lifetime_years.to_bits(),
+        "{tag}: lifetime"
+    );
+    assert_eq!(
+        a.instructions_executed, b.instructions_executed,
+        "{tag}: instructions"
+    );
+    assert_eq!(a.trace, b.trace, "{tag}: trace");
+    assert_eq!(a.fault_events, b.fault_events, "{tag}: fault events");
+    assert_eq!(a.retries, b.retries, "{tag}: retries");
+    assert_eq!(a.retired_arrays, b.retired_arrays, "{tag}: retired arrays");
+    assert_eq!(
+        a.fault_overhead_cycles, b.fault_overhead_cycles,
+        "{tag}: fault overhead"
+    );
+    assert_eq!(
+        a.transport_overhead_cycles, b.transport_overhead_cycles,
+        "{tag}: transport overhead"
+    );
+}
+
+/// Runs the same kernel under `Serial` and `Threads(1|2|4)` and demands
+/// identical reports.
+fn check_all_parallelisms(
+    config: &SimConfig,
+    kernel: &CompiledKernel,
+    inputs: &HashMap<String, Tensor>,
+) {
+    let mut serial_config = config.clone();
+    serial_config.parallelism = Parallelism::Serial;
+    let serial = Machine::new(serial_config)
+        .run(kernel, inputs)
+        .expect("serial run");
+    for workers in [1usize, 2, 4] {
+        let mut par_config = config.clone();
+        par_config.parallelism = Parallelism::Threads(workers);
+        let par = Machine::new(par_config)
+            .run(kernel, inputs)
+            .expect("parallel run");
+        assert_identical(&serial, &par, &format!("{workers} workers"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random kernel shape, scale, and seed; fault-free configuration
+    /// (noise and fault models off). Serial and parallel reports must
+    /// match bit for bit.
+    #[test]
+    fn fault_free_runs_identical_across_worker_counts(
+        kind in 0u8..3,
+        scale in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let (kernel, inputs) = build_kernel(kind, 200 * scale);
+        let config = SimConfig {
+            fault_seed: seed,
+            trace: true,
+            ..SimConfig::functional()
+        };
+        check_all_parallelisms(&config, &kernel, &inputs);
+    }
+
+    /// Random kernels with cell faults, ADC transients, and an ADC
+    /// offset population injected under the Silent policy (corrupted
+    /// outputs are *kept*, so every corrupted bit must corrupt
+    /// identically whatever the worker count).
+    #[test]
+    fn fault_injected_runs_identical_across_worker_counts(
+        kind in 0u8..3,
+        scale in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let (kernel, inputs) = build_kernel(kind, 200 * scale);
+        let rates = FaultRates {
+            transient_adc: 1e-4,
+            adc_offset: 0.05,
+            ..FaultRates::cells(1e-4)
+        };
+        let config = SimConfig {
+            fault_seed: seed,
+            faults: Some(FaultConfig::new(rates, FaultPolicy::Silent)),
+            ..SimConfig::functional()
+        };
+        check_all_parallelisms(&config, &kernel, &inputs);
+    }
+
+    /// Random kernels over a flip-faulted H-tree: CRC-detected link
+    /// corruption recovered by retransmission, plus silent corruption,
+    /// must replay identically for every worker count.
+    #[test]
+    fn transport_faulted_runs_identical_across_worker_counts(
+        kind in 0u8..3,
+        scale in 1usize..4,
+        seed in 0u64..1000,
+        silent in proptest::prelude::any::<bool>(),
+    ) {
+        let (kernel, inputs) = build_kernel(kind, 200 * scale);
+        let policy = if silent {
+            TransportPolicy::Silent
+        } else {
+            TransportPolicy::AckRetransmit { max: 64, backoff: 8 }
+        };
+        let config = SimConfig {
+            fault_seed: seed,
+            transport: Some(TransportConfig {
+                rates: LinkFaultRates::flips(0.05),
+                policy,
+            }),
+            ..SimConfig::functional()
+        };
+        check_all_parallelisms(&config, &kernel, &inputs);
+    }
+}
+
+/// The recovery loop too: a transient-glitch population under `Retry`
+/// (multiple attempts, per-attempt RNG re-arming, backoff accounting)
+/// must converge to the same report on every worker count.
+#[test]
+fn retry_recovery_identical_across_worker_counts() {
+    let (kernel, inputs) = build_kernel(2, 600);
+    let rates = FaultRates {
+        transient_adc: 2e-5,
+        ..FaultRates::none()
+    };
+    let config = SimConfig {
+        fault_seed: 7,
+        trace: true,
+        faults: Some(FaultConfig::new(
+            rates,
+            FaultPolicy::Retry {
+                max: 50,
+                backoff_cycles: 8,
+            },
+        )),
+        ..SimConfig::functional()
+    };
+    check_all_parallelisms(&config, &kernel, &inputs);
+}
+
+/// `Auto` resolves to some worker count; whatever it is, the report must
+/// equal the serial one (the user-facing guarantee of the default).
+#[test]
+fn auto_parallelism_matches_serial() {
+    let (kernel, inputs) = build_kernel(1, 2000);
+    let config = SimConfig {
+        fault_seed: 11,
+        parallelism: Parallelism::Auto,
+        ..SimConfig::functional()
+    };
+    let auto = Machine::new(config.clone()).run(&kernel, &inputs).unwrap();
+    let serial = Machine::new(SimConfig {
+        parallelism: Parallelism::Serial,
+        ..config
+    })
+    .run(&kernel, &inputs)
+    .unwrap();
+    assert_identical(&serial, &auto, "auto");
+}

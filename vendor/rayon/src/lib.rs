@@ -1,0 +1,153 @@
+//! Minimal, offline stand-in for the [`rayon`](https://docs.rs/rayon)
+//! crate, exposing the small fork-join surface the simulator uses:
+//! [`scope`] / [`Scope::spawn`] for structured parallelism over borrowed
+//! data, [`join`] for two-way fork-join, and [`current_num_threads`] for
+//! sizing worker shards.
+//!
+//! The real rayon multiplexes tasks onto a work-stealing pool; this shim
+//! maps every `spawn` onto one OS thread via [`std::thread::scope`].  The
+//! simulator spawns one long-lived task per worker shard (not per work
+//! item), so the behavioural difference is only scheduling overhead, not
+//! semantics: borrows, panics, and completion ordering follow the same
+//! structured-concurrency rules as the real crate.
+//!
+//! `current_num_threads` honours the `RAYON_NUM_THREADS` environment
+//! variable exactly like rayon's global pool does, which is what lets CI
+//! pin determinism checks to a fixed worker count.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Number of worker threads rayon would use: the `RAYON_NUM_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// host's available parallelism (1 if that cannot be determined).
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// A scope for spawning borrowed tasks; see [`scope`].
+///
+/// Wraps [`std::thread::Scope`] so spawned closures receive a `&Scope`
+/// argument (rayon's signature) and may themselves spawn.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from outside the scope.  The task
+    /// runs on its own thread and is joined before [`scope`] returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Creates a scope in which tasks spawned via [`Scope::spawn`] may borrow
+/// non-`'static` data.  All spawned tasks complete before `scope` returns;
+/// a panic in any task propagates to the caller after the rest have
+/// finished (the [`std::thread::scope`] contract, matching rayon).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+/// Panics from either side propagate to the caller.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks_and_allows_borrows() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        scope(|s| {
+            for &x in &data {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(x, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn nested_spawn_from_within_a_task() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            let counter = &counter;
+            s.spawn(move |s2| {
+                s2.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = scope(|_| 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn mutable_chunks_across_tasks() {
+        let mut buf = vec![0u64; 8];
+        scope(|s| {
+            for (i, chunk) in buf.chunks_mut(2).enumerate() {
+                s.spawn(move |_| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (i * 2 + j) as u64;
+                    }
+                });
+            }
+        });
+        assert_eq!(buf, (0..8).collect::<Vec<u64>>());
+    }
+}

@@ -21,13 +21,22 @@
 //! repetitions) and `--baseline PATH` to also write the JSON lines to
 //! `PATH` (the committed `BENCH_engine.json` baseline).
 //!
+//! Telemetry: after the sweep, the 64-group point reruns serially with a
+//! recorder installed; the wall-clock ratio against the uninstrumented
+//! run gates the *enabled*-path cost (the disabled path is what the
+//! whole sweep measures — one `Option` check). Pass
+//! `--telemetry-dump PATH` to write that instrumented run's
+//! [`TelemetryReport`] JSON to `PATH`.
+//!
+//! [`TelemetryReport`]: imp_sim::TelemetryReport
+//!
 //! [`Machine::run`]: imp_sim::Machine::run
 //! [`Parallelism::Serial`]: imp_sim::Parallelism::Serial
 //! [`Parallelism::Auto`]: imp_sim::Parallelism::Auto
 
 use imp::OptPolicy;
 use imp_bench::{emit_json_line, header};
-use imp_sim::{Machine, Parallelism, RunReport, SimConfig};
+use imp_sim::{Machine, Parallelism, RunReport, SimConfig, Telemetry};
 use imp_workloads::workload;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -41,11 +50,27 @@ fn time_runs(
     inputs: &std::collections::HashMap<String, imp::Tensor>,
     reps: usize,
 ) -> (f64, RunReport) {
+    time_runs_with(parallelism, None, kernel, inputs, reps)
+}
+
+/// [`time_runs`] with an optional telemetry recorder installed (reset
+/// between reps so the dumped report covers one run).
+fn time_runs_with(
+    parallelism: Parallelism,
+    telemetry: Option<&Telemetry>,
+    kernel: &imp::CompiledKernel,
+    inputs: &std::collections::HashMap<String, imp::Tensor>,
+    reps: usize,
+) -> (f64, RunReport) {
     let mut best = f64::INFINITY;
     let mut last = None;
     for _ in 0..reps {
+        if let Some(t) = telemetry {
+            t.reset();
+        }
         let mut machine = Machine::new(SimConfig {
             parallelism,
+            telemetry: telemetry.cloned(),
             ..SimConfig::functional()
         });
         let t0 = Instant::now();
@@ -73,6 +98,11 @@ fn main() {
         .position(|a| a == "--baseline")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let telemetry_dump_path = args
+        .iter()
+        .position(|a| a == "--telemetry-dump")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     header(if smoke {
         "Engine throughput sweep (smoke) — serial vs parallel group execution"
     } else {
@@ -91,6 +121,7 @@ fn main() {
     let w = workload("blackscholes").expect("workload");
     let mut json = String::new();
     let mut speedup_at_64 = None;
+    let mut serial_s_at_64 = None;
     for &groups in group_counts {
         let n = groups * imp::isa::LANES;
         let kernel = w.compile(n, OptPolicy::MaxDlp).expect("compile");
@@ -103,6 +134,7 @@ fn main() {
         let speedup = serial_s / parallel_s;
         if groups == 64 {
             speedup_at_64 = Some(speedup);
+            serial_s_at_64 = Some(serial_s);
         }
         println!("{groups:<8} {n:>10} {serial_s:>12.4} {parallel_s:>12.4} {speedup:>8.2}x");
 
@@ -144,6 +176,55 @@ fn main() {
         println!("\nperf gate: {speedup_at_64:.2}x at 64 groups with {workers} workers — ok");
     } else {
         println!("\nperf gate skipped: single worker (serial and parallel are the same path)");
+    }
+
+    // Telemetry-enabled overhead at the 64-group point: rerun serially
+    // with a recorder installed and compare wall clocks. The bound is
+    // generous (2×) because the gate exists to catch instrumentation
+    // creeping into the per-instruction hot loop, not to benchmark the
+    // mutex; typical overhead is a few percent (one per-op f64 add plus
+    // end-of-run snapshotting).
+    {
+        let groups = 64usize;
+        let n = groups * imp::isa::LANES;
+        let kernel = w.compile(n, OptPolicy::MaxDlp).expect("compile");
+        let inputs = w.inputs(n, 5);
+        let telemetry = Telemetry::new();
+        let (telemetry_s, report) = time_runs_with(
+            Parallelism::Serial,
+            Some(&telemetry),
+            &kernel,
+            &inputs,
+            reps,
+        );
+        let serial_s = serial_s_at_64.expect("64-group point always swept");
+        let overhead = telemetry_s / serial_s;
+        println!(
+            "\ntelemetry-enabled overhead at 64 groups: {overhead:.2}x \
+             ({telemetry_s:.4}s instrumented vs {serial_s:.4}s plain)"
+        );
+        let perf = format!(
+            concat!(
+                "{{\"experiment\":\"engine_sweep\",\"series\":\"perf_telemetry\",\"x\":{},",
+                "\"wall_s\":{:.6e},\"overhead\":{:.4}}}"
+            ),
+            groups, telemetry_s, overhead,
+        );
+        println!("{perf}");
+        let _ = writeln!(json, "{perf}");
+        assert!(
+            overhead <= 2.0,
+            "telemetry-enabled run at 64 groups cost {overhead:.2}x the plain run — \
+             instrumentation has crept into the hot loop"
+        );
+        if let Some(path) = telemetry_dump_path {
+            let snapshot = report
+                .telemetry
+                .expect("instrumented run carries telemetry");
+            std::fs::write(&path, format!("{}\n", snapshot.to_json()))
+                .expect("write telemetry dump");
+            println!("telemetry report written to {path}");
+        }
     }
 
     if let Some(path) = baseline_path {

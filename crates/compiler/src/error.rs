@@ -2,6 +2,7 @@ use std::fmt;
 
 /// Errors produced while compiling a data-flow graph to the in-memory ISA.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CompileError {
     /// The graph mixes tensors whose parallel dimensions disagree.
     InconsistentParallelism(String),

@@ -112,6 +112,11 @@ pub struct CompileOptions {
     /// Analog periphery parameters; the ADC resolution bounds n-ary
     /// operand counts for node merging.
     pub analog: imp_rram::AnalogSpec,
+    /// Telemetry recorder for per-phase wall times and decision counts
+    /// (modules formed, merge accept/reject, IBs after partition, BUG
+    /// placement scan length). `None` (the default) disables compiler
+    /// instrumentation at zero cost.
+    pub telemetry: Option<imp_telemetry::Telemetry>,
 }
 
 impl Default for CompileOptions {
@@ -127,6 +132,7 @@ impl Default for CompileOptions {
             ranges: HashMap::new(),
             capacity: ChipCapacity::default(),
             analog: imp_rram::AnalogSpec::prototype(),
+            telemetry: None,
         }
     }
 }
@@ -139,15 +145,75 @@ impl Default for CompileOptions {
 /// compute), when required value ranges are missing, or when the module
 /// exceeds array resources.
 pub fn compile(graph: &Graph, options: &CompileOptions) -> Result<CompiledKernel, CompileError> {
-    let mut module = scalar::scalarize(graph, options)?;
-    if options.node_merging {
-        merge::merge_nodes(&mut module, options);
+    let tel = options.telemetry.as_ref();
+    let _compile_span = tel.map(|t| t.span("compile.total"));
+
+    let mut module = {
+        let _span = tel.map(|t| t.span("compile.scalarize"));
+        scalar::scalarize(graph, options)?
+    };
+    if let Some(t) = tel {
+        t.counter_add("compile.modules_formed", 1);
+        t.counter_add("compile.scalar_ops", module.ops.len() as u64);
     }
-    let num_ibs = partition::choose_ib_count(&module, options);
-    let partitioned = partition::partition(&module, num_ibs)?;
-    let lowered = lower::lower(&module, &partitioned, options)?;
+
+    if options.node_merging {
+        let _span = tel.map(|t| t.span("compile.merge"));
+        let stats = merge::merge_nodes(&mut module, options);
+        if let Some(t) = tel {
+            t.counter_add(
+                "compile.merge.accepted",
+                (stats.adds_merged + stats.subs_merged) as u64,
+            );
+            t.counter_add(
+                "compile.merge.rejected",
+                (stats.adds_rejected + stats.subs_rejected) as u64,
+            );
+        }
+    }
+
+    let (num_ibs, partitioned) = {
+        let _span = tel.map(|t| t.span("compile.partition"));
+        let num_ibs = partition::choose_ib_count(&module, options);
+        (num_ibs, partition::partition(&module, num_ibs)?)
+    };
+    if let Some(t) = tel {
+        t.counter_add("compile.ibs_after_partition", num_ibs as u64);
+    }
+
+    let lowered = {
+        let _span = tel.map(|t| t.span("compile.lower"));
+        lower::lower(&module, &partitioned, options)?
+    };
+    if let Some(t) = tel {
+        for ib in &lowered.ibs {
+            t.record_value("compile.ib.instructions", ib.instructions.len() as f64);
+        }
+    }
+
     let avail = schedule::ArrayAvailability::all(options.capacity.arrays());
-    let schedule = schedule::schedule(&lowered, options, &avail)?;
+    let schedule = {
+        let _span = tel.map(|t| t.span("compile.schedule"));
+        schedule::schedule(&lowered, options, &avail)?
+    };
+    if let Some(t) = tel {
+        // BUG placement scan length: slots examined until every IB found a
+        // home (== highest placed slot + 1; > num_ibs once arrays retire).
+        let scanned = schedule
+            .placements
+            .iter()
+            .map(|p| p.cluster * 8 + p.array + 1)
+            .max()
+            .unwrap_or(0);
+        t.counter_add("compile.place.slots_scanned", scanned as u64);
+        t.counter_add("compile.schedule.entries", schedule.entries.len() as u64);
+        t.record_value(
+            "compile.module_latency_cycles",
+            schedule.module_latency as f64,
+        );
+    }
+
+    let _span = tel.map(|t| t.span("compile.assemble"));
     Ok(module::assemble_kernel(
         graph, module, lowered, schedule, options,
     ))

@@ -17,6 +17,12 @@ pub struct MergeStats {
     pub adds_merged: usize,
     /// Subtract chains folded.
     pub subs_merged: usize,
+    /// Add-chain links left unmerged at the fixed point (the intermediate
+    /// has other consumers, or inlining would exceed the ADC-bounded
+    /// n-ary cap).
+    pub adds_rejected: usize,
+    /// Subtract-chain links left unmerged at the fixed point.
+    pub subs_rejected: usize,
 }
 
 /// Merges chains of additions/subtractions into n-ary operations, in
@@ -58,6 +64,28 @@ pub fn merge_nodes(module: &mut ScalarModule, options: &CompileOptions) -> Merge
         }
         if !changed {
             break;
+        }
+    }
+    // Count the merge opportunities the fixed point left on the table:
+    // chain links (an n-ary operand that is itself an n-ary op) that were
+    // not inlined — either the intermediate value has more consumers or
+    // the ADC-bounded operand cap refused the widening.
+    for op in &module.ops {
+        match op {
+            SOp::AddN(xs) => {
+                stats.adds_rejected += xs
+                    .iter()
+                    .filter(|x| matches!(module.ops[x.0], SOp::AddN(_) | SOp::SubN { .. }))
+                    .count();
+            }
+            SOp::SubN { plus, minus } => {
+                stats.subs_rejected += plus
+                    .iter()
+                    .chain(minus)
+                    .filter(|x| matches!(module.ops[x.0], SOp::AddN(_) | SOp::SubN { .. }))
+                    .count();
+            }
+            _ => {}
         }
     }
     stats

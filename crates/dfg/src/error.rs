@@ -3,6 +3,7 @@ use std::fmt;
 
 /// Errors from graph construction, interpretation or range analysis.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum DfgError {
     /// Two operand shapes were incompatible for the given operation.
     ShapeMismatch {

@@ -58,6 +58,8 @@ impl Node {
 pub struct Graph {
     nodes: Vec<Node>,
     outputs: Vec<NodeId>,
+    /// Explicit fetch names, parallel to `outputs` (`None` = unnamed).
+    output_names: Vec<Option<String>>,
 }
 
 impl Graph {
@@ -77,6 +79,34 @@ impl Graph {
     /// The fetched output nodes.
     pub fn outputs(&self) -> &[NodeId] {
         &self.outputs
+    }
+
+    /// The explicit name attached to the `idx`-th output by
+    /// [`GraphBuilder::fetch_as`], if any.
+    pub fn output_name(&self, idx: usize) -> Option<&str> {
+        self.output_names.get(idx)?.as_deref()
+    }
+
+    /// Every fetched output matching `name`: an output's explicit
+    /// [`GraphBuilder::fetch_as`] name wins; otherwise a fetched
+    /// `Placeholder`/`Variable` node answers to its declared name.
+    /// Callers map an empty result to "unknown output" and a multi-hit
+    /// result to "ambiguous name".
+    pub fn outputs_named(&self, name: &str) -> Vec<NodeId> {
+        self.outputs
+            .iter()
+            .enumerate()
+            .filter(|&(idx, &id)| {
+                match self.output_names.get(idx).and_then(|n| n.as_deref()) {
+                    Some(explicit) => explicit == name,
+                    None => matches!(
+                        self.nodes.get(id.0).map(Node::op),
+                        Some(Op::Placeholder { name: n } | Op::Variable { name: n, .. }) if n == name
+                    ),
+                }
+            })
+            .map(|(_, &id)| id)
+            .collect()
     }
 
     /// Number of nodes.
@@ -559,6 +589,21 @@ impl GraphBuilder {
     pub fn fetch(&mut self, id: NodeId) {
         if !self.graph.outputs.contains(&id) {
             self.graph.outputs.push(id);
+            self.graph.output_names.push(None);
+        }
+    }
+
+    /// Marks a node as a fetched output addressable by `name` (see
+    /// `SessionOutputs::by_name` in the `imp` crate). Re-fetching an
+    /// already-fetched node attaches the name to the existing output
+    /// slot. Names are not checked for uniqueness here — an ambiguous
+    /// name surfaces as an error at lookup time.
+    pub fn fetch_as(&mut self, name: &str, id: NodeId) {
+        if let Some(idx) = self.graph.outputs.iter().position(|&o| o == id) {
+            self.graph.output_names[idx] = Some(name.to_string());
+        } else {
+            self.graph.outputs.push(id);
+            self.graph.output_names.push(Some(name.to_string()));
         }
     }
 

@@ -1,0 +1,225 @@
+//! The fluent [`SessionBuilder`]: one chained expression from graph to
+//! runnable [`Session`], replacing hand-assembled
+//! [`CompileOptions`]/[`SimConfig`] pairs for the common paths.
+
+use crate::session::{Session, ShadowConfig};
+use crate::Error;
+use imp_compiler::{ChipCapacity, CompileOptions, OptPolicy};
+use imp_dfg::range::Interval;
+use imp_dfg::Graph;
+use imp_rram::QFormat;
+use imp_sim::{
+    FaultConfig, FaultPolicy, Parallelism, SimConfig, Telemetry, TransportConfig, WatchdogConfig,
+};
+
+/// Fluent constructor for [`Session`], started with [`Session::builder`].
+///
+/// Every knob defaults to exactly what [`CompileOptions::default`] and
+/// [`SimConfig::functional`] would produce, so `Session::builder(g).build()`
+/// is equivalent to `Session::new(g, Default::default())`. Setters cover
+/// the options users actually reach for; the escape hatches
+/// [`compile_options`](Self::compile_options) and
+/// [`sim_config`](Self::sim_config) replace the whole struct for anything
+/// exotic.
+///
+/// ```
+/// use imp::prelude::*;
+///
+/// # fn main() -> Result<(), imp::Error> {
+/// let mut g = GraphBuilder::new();
+/// let x = g.placeholder("x", Shape::vector(32))?;
+/// let y = g.square(x)?;
+/// g.fetch_as("y", y);
+///
+/// let mut session = Session::builder(g.finish())
+///     .parallelism(Parallelism::Threads(2))
+///     .shadow(ShadowConfig::default())
+///     .build()?;
+/// let out = session.run(&[("x", Tensor::from_fn(Shape::vector(32), |i| i as f64 / 8.0))])?;
+/// assert!(out.by_name("y").is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SessionBuilder {
+    graph: Graph,
+    options: CompileOptions,
+    config: SimConfig,
+    shadow: Option<ShadowConfig>,
+    adaptive: bool,
+}
+
+impl SessionBuilder {
+    /// Starts a builder over `graph` with default compile options and the
+    /// functional-test chip.
+    pub fn new(graph: Graph) -> Self {
+        SessionBuilder {
+            graph,
+            options: CompileOptions::default(),
+            config: SimConfig::functional(),
+            shadow: None,
+            adaptive: false,
+        }
+    }
+
+    // --- compiler knobs ---------------------------------------------------
+
+    /// Sets the compiler's optimization target.
+    pub fn policy(mut self, policy: OptPolicy) -> Self {
+        self.options.policy = policy;
+        self
+    }
+
+    /// Sets the kernel's fixed-point format.
+    pub fn format(mut self, format: QFormat) -> Self {
+        self.options.format = format;
+        self
+    }
+
+    /// Declares an input value range (required for `Div`/`Exp`/`Sqrt`/
+    /// `Sigmoid` lowering).
+    pub fn range(mut self, name: &str, interval: Interval) -> Self {
+        self.options.ranges.insert(name.to_string(), interval);
+        self
+    }
+
+    /// Sets the expected instance count used by `MaxArrayUtil` and the
+    /// analytical model.
+    pub fn expected_instances(mut self, instances: usize) -> Self {
+        self.options.expected_instances = instances;
+        self
+    }
+
+    /// Sets the chip capacity for *both* the compiler's utilization
+    /// balancing and the simulated chip.
+    pub fn capacity(mut self, capacity: ChipCapacity) -> Self {
+        self.options.capacity = capacity;
+        self.config.capacity = capacity;
+        self
+    }
+
+    /// Replaces the whole [`CompileOptions`] (escape hatch; the targeted
+    /// setters are preferred). A telemetry handle installed with
+    /// [`telemetry`](Self::telemetry) before this call is overwritten.
+    pub fn compile_options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    // --- simulator knobs --------------------------------------------------
+
+    /// Sets host-thread scheduling of instance groups (never changes
+    /// results; see [`Parallelism`]).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config.parallelism = parallelism;
+        self
+    }
+
+    /// Installs the array-level fault model.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.config.faults = Some(faults);
+        self
+    }
+
+    /// Sets the fault recovery policy, enabling the fault model at its
+    /// default (clean) rates if it was not already installed.
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.config
+            .faults
+            .get_or_insert_with(FaultConfig::default)
+            .policy = policy;
+        self
+    }
+
+    /// Sets the base seed for per-array noise and fault populations.
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.config.fault_seed = seed;
+        self
+    }
+
+    /// Installs the transport-level (H-tree) fault model.
+    pub fn transport(mut self, transport: TransportConfig) -> Self {
+        self.config.transport = Some(transport);
+        self
+    }
+
+    /// Installs the execution watchdog.
+    pub fn watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.config.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Records a per-instruction trace of the first instance group.
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.config.trace = trace;
+        self
+    }
+
+    /// Replaces the whole [`SimConfig`] (escape hatch; the targeted
+    /// setters are preferred). A telemetry handle installed with
+    /// [`telemetry`](Self::telemetry) before this call is overwritten.
+    pub fn sim_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    // --- cross-cutting ----------------------------------------------------
+
+    /// Installs one [`Telemetry`] handle into *both* the compiler options
+    /// and the simulator configuration, so compile-phase spans and run
+    /// counters land in the same report.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.options.telemetry = Some(telemetry.clone());
+        self.config.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Enables end-to-end shadow validation against the golden
+    /// interpreter (see [`Session::enable_shadow_validation`]).
+    pub fn shadow(mut self, shadow: ShadowConfig) -> Self {
+        self.shadow = Some(shadow);
+        self
+    }
+
+    /// Shorthand for [`shadow`](Self::shadow) with only the ULP tolerance
+    /// changed from the default.
+    pub fn shadow_tolerance_ulps(self, tolerance_ulps: f64) -> Self {
+        self.shadow(ShadowConfig::with_tolerance_ulps(tolerance_ulps))
+    }
+
+    /// Uses the §5.2 runtime code selection: compile under every
+    /// optimization target and pick the analytical-model optimum for the
+    /// input size (see [`Session::new_adaptive`]). Overrides
+    /// [`policy`](Self::policy).
+    pub fn adaptive(mut self) -> Self {
+        self.adaptive = true;
+        self
+    }
+
+    /// Compiles the graph and binds it to the simulated chip.
+    ///
+    /// # Errors
+    /// Propagates compile errors.
+    pub fn build(self) -> Result<Session, Error> {
+        let mut session = if self.adaptive {
+            Session::new_adaptive(self.graph, self.options, self.config)?
+        } else {
+            Session::with_config(self.graph, self.options, self.config)?
+        };
+        if let Some(shadow) = self.shadow {
+            session.enable_shadow_validation(shadow);
+        }
+        Ok(session)
+    }
+
+    /// The compile options the builder would hand to [`imp_compiler::compile`].
+    pub fn peek_compile_options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// The simulator configuration the builder would construct the chip
+    /// with.
+    pub fn peek_sim_config(&self) -> &SimConfig {
+        &self.config
+    }
+}

@@ -51,11 +51,35 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod builder;
 mod session;
 
+pub use builder::SessionBuilder;
 pub use session::{
     Error, FailureContext, OutputDivergence, Session, SessionOutputs, ShadowConfig, ShadowReport,
 };
+
+/// The one-line import for typical IMP programs:
+/// `use imp::prelude::*;`
+///
+/// Brings in graph construction ([`GraphBuilder`], [`Shape`], [`Tensor`]),
+/// the fluent session API ([`Session`], [`SessionBuilder`] and its
+/// configuration types), error handling, and telemetry.
+pub mod prelude {
+    pub use crate::builder::SessionBuilder;
+    pub use crate::session::{
+        Error, FailureContext, OutputDivergence, Session, SessionOutputs, ShadowConfig,
+        ShadowReport,
+    };
+    pub use imp_compiler::{CompileOptions, OptPolicy};
+    pub use imp_dfg::range::Interval;
+    pub use imp_dfg::{GraphBuilder, NodeId, Shape, Tensor};
+    pub use imp_rram::QFormat;
+    pub use imp_sim::{
+        FaultConfig, FaultPolicy, Parallelism, SimConfig, Telemetry, TelemetryReport,
+        TransportConfig, TransportPolicy, WatchdogConfig,
+    };
+}
 
 pub use imp_baselines as baselines;
 pub use imp_compiler as compiler;
@@ -69,8 +93,9 @@ pub use imp_isa as isa;
 pub use imp_noc as noc;
 pub use imp_rram::{AnalogSpec, FaultMap, FaultRates, Fixed, QFormat};
 pub use imp_sim::{
-    FaultConfig, FaultEvent, FaultKind, FaultPolicy, FaultSite, LinkFaultRates, Machine,
-    Parallelism, RunReport, SimConfig, SimError, TransportConfig, TransportEvent,
-    TransportFaultKind, TransportPolicy, WatchdogConfig,
+    EngineStats, FaultConfig, FaultEvent, FaultKind, FaultPolicy, FaultSite, IbProfile,
+    LinkFaultRates, Machine, Parallelism, RunReport, SimConfig, SimError, Telemetry,
+    TelemetryReport, TransportConfig, TransportEvent, TransportFaultKind, TransportPolicy,
+    WatchdogConfig,
 };
 pub use imp_workloads as workloads;

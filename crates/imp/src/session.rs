@@ -11,6 +11,16 @@ use std::fmt;
 /// Placement context for a simulator failure: which instruction block the
 /// fault was localized to and — when the compiled layout records one —
 /// which fetched graph node that block produces.
+///
+/// The [`Display`](fmt::Display) form names the block and, when known,
+/// the fetched node it produces:
+///
+/// ```
+/// use imp::FailureContext;
+///
+/// let ctx = FailureContext { ib: 2, node: None };
+/// assert_eq!(ctx.to_string(), "instruction block 2");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FailureContext {
     /// Instruction block the failing site belongs to.
@@ -32,6 +42,7 @@ impl fmt::Display for FailureContext {
 
 /// Unified error for session operations.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum Error {
     /// Graph construction/validation failure.
     Dfg(DfgError),
@@ -47,8 +58,29 @@ pub enum Error {
         source: SimError,
     },
     /// Shadow validation detected that the chip run diverged from the
-    /// golden interpreter beyond the configured tolerance.
+    /// golden interpreter beyond the configured tolerance. The full
+    /// [`ShadowReport`] is reachable through
+    /// [`std::error::Error::source`]:
+    ///
+    /// ```
+    /// use std::error::Error as _;
+    ///
+    /// let report = imp::ShadowReport { tolerance_ulps: 4.0, outputs: vec![] };
+    /// let err = imp::Error::ShadowDivergence(report);
+    /// assert!(err.source().unwrap().is::<imp::ShadowReport>());
+    /// ```
     ShadowDivergence(ShadowReport),
+    /// [`SessionOutputs::by_name`] found no fetched output answering to
+    /// the name.
+    UnknownOutput(String),
+    /// [`SessionOutputs::by_name`] matched more than one fetched output;
+    /// use [`SessionOutputs::output`] with one of the listed node ids.
+    AmbiguousOutput {
+        /// The name that was looked up.
+        name: String,
+        /// Every fetched node the name resolves to.
+        nodes: Vec<NodeId>,
+    },
 }
 
 impl fmt::Display for Error {
@@ -67,6 +99,19 @@ impl fmt::Display for Error {
             Error::ShadowDivergence(report) => {
                 write!(f, "shadow validation failed: {report}")
             }
+            Error::UnknownOutput(name) => {
+                write!(f, "no fetched output named `{name}`")
+            }
+            Error::AmbiguousOutput { name, nodes } => {
+                write!(f, "output name `{name}` is ambiguous: matches ")?;
+                for (i, node) in nodes.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{node}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -77,7 +122,8 @@ impl std::error::Error for Error {
             Error::Dfg(e) => Some(e),
             Error::Compile(e) => Some(e),
             Error::Sim { source, .. } => Some(source),
-            Error::ShadowDivergence(_) => None,
+            Error::ShadowDivergence(report) => Some(report),
+            Error::UnknownOutput(_) | Error::AmbiguousOutput { .. } => None,
         }
     }
 }
@@ -193,6 +239,11 @@ impl ShadowReport {
     }
 }
 
+// A `ShadowReport` is the *cause* of an [`Error::ShadowDivergence`], so
+// it participates in the standard error chain (`err.source()` yields the
+// report rather than `None`).
+impl std::error::Error for ShadowReport {}
+
 impl fmt::Display for ShadowReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let diverging: Vec<&OutputDivergence> =
@@ -219,12 +270,41 @@ impl fmt::Display for ShadowReport {
 pub struct SessionOutputs {
     report: RunReport,
     shadow: Option<ShadowReport>,
+    /// Name → fetched nodes, resolved once at session construction
+    /// (explicit [`fetch_as`] names, else the fetched
+    /// `Placeholder`/`Variable`'s declared name).
+    ///
+    /// [`fetch_as`]: imp_dfg::GraphBuilder::fetch_as
+    names: HashMap<String, Vec<NodeId>>,
 }
 
 impl SessionOutputs {
     /// The output tensor of a fetched node.
     pub fn output(&self, node: NodeId) -> Option<&Tensor> {
         self.report.outputs.get(&node)
+    }
+
+    /// Looks up a fetched output by name instead of [`NodeId`]: the
+    /// explicit name attached with [`GraphBuilder::fetch_as`], or — for a
+    /// directly fetched `Placeholder`/`Variable` node — its declared
+    /// name.
+    ///
+    /// [`GraphBuilder::fetch_as`]: imp_dfg::GraphBuilder::fetch_as
+    ///
+    /// # Errors
+    /// [`Error::UnknownOutput`] when no fetched output answers to the
+    /// name; [`Error::AmbiguousOutput`] when more than one does.
+    pub fn by_name(&self, name: &str) -> Result<&Tensor, Error> {
+        match self.names.get(name).map(Vec::as_slice) {
+            None | Some([]) => Err(Error::UnknownOutput(name.to_string())),
+            Some([node]) => self
+                .output(*node)
+                .ok_or_else(|| Error::UnknownOutput(name.to_string())),
+            Some(nodes) => Err(Error::AmbiguousOutput {
+                name: name.to_string(),
+                nodes: nodes.to_vec(),
+            }),
+        }
     }
 
     /// The full execution report (timing, energy, network, wear).
@@ -249,11 +329,33 @@ pub struct Session {
     machine: Machine,
     variables: HashMap<String, Tensor>,
     shadow: Option<ShadowConfig>,
+    output_names: HashMap<String, Vec<NodeId>>,
 }
 
 impl Session {
+    /// Starts a fluent [`SessionBuilder`](crate::SessionBuilder) over
+    /// `graph` — the preferred
+    /// construction path:
+    ///
+    /// ```
+    /// use imp::prelude::*;
+    ///
+    /// # fn main() -> Result<(), imp::Error> {
+    /// let mut g = GraphBuilder::new();
+    /// let x = g.placeholder("x", Shape::vector(16))?;
+    /// let y = g.square(x)?;
+    /// g.fetch_as("y", y);
+    /// let mut session = Session::builder(g.finish()).build()?;
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn builder(graph: Graph) -> crate::SessionBuilder {
+        crate::SessionBuilder::new(graph)
+    }
+
     /// Compiles `graph` under `options` for the default (functional-test)
-    /// chip configuration.
+    /// chip configuration. Thin shim over [`Session::builder`] for
+    /// callers that already hold a [`CompileOptions`].
     ///
     /// # Errors
     /// Propagates compile errors.
@@ -315,11 +417,24 @@ impl Session {
         Ok(Session::from_kernel(graph, kernel, config))
     }
 
-    fn from_kernel(graph: Graph, kernel: CompiledKernel, config: SimConfig) -> Self {
+    pub(crate) fn from_kernel(graph: Graph, kernel: CompiledKernel, config: SimConfig) -> Self {
         let mut variables = HashMap::new();
         for node in graph.nodes() {
             if let Op::Variable { name, init } = node.op() {
                 variables.insert(name.clone(), init.clone());
+            }
+        }
+        let mut output_names: HashMap<String, Vec<NodeId>> = HashMap::new();
+        for (idx, &id) in graph.outputs().iter().enumerate() {
+            let name = match graph.output_name(idx) {
+                Some(explicit) => Some(explicit.to_string()),
+                None => match graph.node(id).map(|n| n.op()) {
+                    Ok(Op::Placeholder { name } | Op::Variable { name, .. }) => Some(name.clone()),
+                    _ => None,
+                },
+            };
+            if let Some(name) = name {
+                output_names.entry(name).or_default().push(id);
             }
         }
         Session {
@@ -328,6 +443,7 @@ impl Session {
             machine: Machine::new(config),
             variables,
             shadow: None,
+            output_names,
         }
     }
 
@@ -359,6 +475,16 @@ impl Session {
     /// The source graph.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The simulated chip's configuration.
+    pub fn sim_config(&self) -> &SimConfig {
+        self.machine.config()
+    }
+
+    /// The active shadow-validation configuration, if enabled.
+    pub fn shadow_config(&self) -> Option<&ShadowConfig> {
+        self.shadow.as_ref()
     }
 
     /// Current value of a persistent variable.
@@ -404,7 +530,11 @@ impl Session {
         for (name, value) in &report.variable_updates {
             self.variables.insert(name.clone(), value.clone());
         }
-        Ok(SessionOutputs { report, shadow })
+        Ok(SessionOutputs {
+            report,
+            shadow,
+            names: self.output_names.clone(),
+        })
     }
 
     /// Wraps a [`SimError`] with the failing instruction block and — via

@@ -239,27 +239,40 @@ impl EnergyMeter {
         EnergyMeter::default()
     }
 
-    /// Integrates one executed instruction's activity on one array.
-    pub fn record_op(&mut self, trace: &OpTrace, power: &ArrayPower) {
+    /// Integrates one executed instruction's activity on one array and
+    /// returns the joules that instruction dissipated (the telemetry
+    /// layer attributes it to the executing instruction block).
+    pub fn record_op(&mut self, trace: &OpTrace, power: &ArrayPower) -> f64 {
         let t = f64::from(trace.cycles) * ARRAY_CYCLE_S;
+        let mut op_j = 0.0;
         if trace.crossbar_active {
-            self.breakdown.array_j += (power.xb_w + power.sh_w) * t;
-            self.breakdown.dac_j += power.dac_w * t;
+            let array_j = (power.xb_w + power.sh_w) * t;
+            let dac_j = power.dac_w * t;
+            self.breakdown.array_j += array_j;
+            self.breakdown.dac_j += dac_j;
+            op_j += array_j + dac_j;
         }
         if trace.adc_conversions > 0 {
             // ADC power is proportional to resolution (§5.2, §7.3).
             let resolution_scale = f64::from(trace.adc_bits_used) / 5.0;
-            self.breakdown.adc_j += power.adc_w * resolution_scale * t;
+            let adc_j = power.adc_w * resolution_scale * t;
+            self.breakdown.adc_j += adc_j;
+            op_j += adc_j;
             self.adc_bit_samples +=
                 f64::from(trace.adc_bits_used) * f64::from(trace.adc_conversions);
             self.adc_samples += f64::from(trace.adc_conversions);
         }
-        self.breakdown.digital_j +=
-            (power.sa_w + power.reg_w * f64::from(trace.regfile_accesses.min(1))) * t;
+        let digital_j = (power.sa_w + power.reg_w * f64::from(trace.regfile_accesses.min(1))) * t;
+        self.breakdown.digital_j += digital_j;
+        op_j += digital_j;
         if trace.lut_reads > 0 {
-            self.breakdown.lut_j += power.lut_w * t;
+            let lut_j = power.lut_w * t;
+            self.breakdown.lut_j += lut_j;
+            op_j += lut_j;
         }
-        self.breakdown.write_j += f64::from(trace.row_writes) * ROW_WRITE_J;
+        let write_j = f64::from(trace.row_writes) * ROW_WRITE_J;
+        self.breakdown.write_j += write_j;
+        op_j + write_j
     }
 
     /// Integrates network activity.

@@ -3,6 +3,7 @@ use std::fmt;
 
 /// Errors from simulated execution.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum SimError {
     /// A named input tensor was not supplied.
     MissingInput(String),

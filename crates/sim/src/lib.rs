@@ -53,3 +53,7 @@ pub use machine::{Machine, Parallelism, RunReport, SimConfig, TraceEvent};
 pub use imp_noc::{
     LinkFaultRates, NocStats, TransportConfig, TransportEvent, TransportFaultKind, TransportPolicy,
 };
+
+// Telemetry types, re-exported so simulator users install and read
+// recorders without a direct `imp-telemetry` dependency.
+pub use imp_telemetry::{EngineStats, IbProfile, Telemetry, TelemetryReport, TimerStat, ValueStat};

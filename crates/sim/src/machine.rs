@@ -80,6 +80,12 @@ pub struct SimConfig {
     /// Host-thread scheduling of instance groups. Never changes results
     /// (see [`Parallelism`]); [`Parallelism::Auto`] by default.
     pub parallelism: Parallelism,
+    /// Telemetry recorder for run counters, per-IB execution profiles and
+    /// parallel-engine statistics; a snapshot is attached to every
+    /// [`RunReport::telemetry`]. `None` (the default) disables simulator
+    /// instrumentation entirely — the hot paths then perform one `Option`
+    /// check and execution is bit-identical to an uninstrumented build.
+    pub telemetry: Option<imp_telemetry::Telemetry>,
 }
 
 impl SimConfig {
@@ -95,6 +101,7 @@ impl SimConfig {
             transport: None,
             watchdog: None,
             parallelism: Parallelism::Auto,
+            telemetry: None,
         }
     }
 
@@ -110,6 +117,7 @@ impl SimConfig {
             transport: None,
             watchdog: None,
             parallelism: Parallelism::Auto,
+            telemetry: None,
         }
     }
 }
@@ -208,6 +216,13 @@ pub struct RunReport {
     /// [`RunReport::cycles`]; zero whenever [`SimConfig::transport`] is
     /// `None` or the fault map is clean.
     pub transport_overhead_cycles: u64,
+    /// Telemetry snapshot taken at the end of this run (run counters,
+    /// per-IB execution profiles, parallel-engine statistics), when
+    /// [`SimConfig::telemetry`] is installed. Everything except wall
+    /// times and the engine's worker topology is deterministic across
+    /// [`Parallelism`] settings; see
+    /// [`imp_telemetry::TelemetryReport::without_wall_times`].
+    pub telemetry: Option<imp_telemetry::TelemetryReport>,
 }
 
 /// Everything one execution attempt produces; the recovery loop in
@@ -230,6 +245,9 @@ struct Attempt {
     /// inside the network per [`imp_noc::TransportPolicy`].
     transport_events: Vec<FaultEvent>,
     transport_overhead_cycles: u64,
+    /// Per-IB joules, merged in ascending group order; `None` when
+    /// telemetry is disabled.
+    ib_energy: Option<Vec<f64>>,
 }
 
 /// The simulated chip.
@@ -307,6 +325,16 @@ impl Machine {
             raw_inputs.insert(name.clone(), (raw, tensor.shape().clone()));
         }
 
+        let tel = self.config.telemetry.clone();
+        let mut run_span = tel.as_ref().map(|t| t.span("sim.run"));
+        // Per-IB energy attribution, merged in ascending group order by
+        // `run_once` and accumulated across attempts here (failed
+        // attempts burned real joules, exactly like the meter).
+        let mut ib_energy_total: Vec<f64> = match &tel {
+            Some(_) => vec![0.0; num_ibs],
+            None => Vec::new(),
+        };
+
         let policy = self
             .config
             .faults
@@ -362,6 +390,11 @@ impl Machine {
             instructions_executed += attempt.instructions_executed;
             fault_events.extend(attempt.events.iter().cloned());
             fault_events.extend(attempt.transport_events.iter().cloned());
+            if let Some(per_ib) = &attempt.ib_energy {
+                for (total, part) in ib_energy_total.iter_mut().zip(per_ib) {
+                    *total += part;
+                }
+            }
 
             // Watchdog cycle budget: checked against total spend so far
             // (prior failed attempts plus this one), whatever the attempt's
@@ -387,6 +420,26 @@ impl Machine {
                 } else {
                     0.0
                 };
+                let telemetry = tel.as_ref().map(|t| {
+                    t.counter_add("sim.runs", 1);
+                    t.counter_add("sim.instances", instances as u64);
+                    t.counter_add("sim.rounds", attempt.rounds);
+                    t.counter_add("sim.cycles", cycles);
+                    t.counter_add("sim.instructions", instructions_executed);
+                    t.counter_add("sim.retries", u64::from(retries));
+                    t.counter_add("sim.fault_events", fault_events.len() as u64);
+                    t.counter_add("sim.noc.messages", attempt.noc.messages);
+                    t.counter_add(
+                        "sim.transport_overhead_cycles",
+                        attempt.transport_overhead_cycles,
+                    );
+                    t.record_value("sim.energy_j", energy.total_j());
+                    t.set_ib_profiles(build_ib_profiles(kernel, sched, &ib_energy_total));
+                    // Drop the run span before snapshotting so the
+                    // report carries this run's own wall time.
+                    drop(run_span.take());
+                    t.snapshot()
+                });
                 return Ok(RunReport {
                     outputs: attempt.outputs,
                     variable_updates: attempt.variable_updates,
@@ -411,6 +464,7 @@ impl Machine {
                     retired_arrays: avail.retired_slots().collect(),
                     fault_overhead_cycles,
                     transport_overhead_cycles: attempt.transport_overhead_cycles,
+                    telemetry,
                 });
             }
 
@@ -533,6 +587,7 @@ impl Machine {
             net_deadline,
             n_slots,
             attempt_idx,
+            telemetry_on: self.config.telemetry.is_some(),
             fault_seed: self.config.fault_seed,
             arrays_per_tile: self.config.capacity.clusters_per_tile
                 * self.config.capacity.arrays_per_cluster,
@@ -572,6 +627,16 @@ impl Machine {
         // the reduction slots, fixed-order float accumulation for energy,
         // per-group-contiguous event streams. The lowest-group error (the
         // one the serial engine would have hit first) wins.
+        let merge_start = self
+            .config
+            .telemetry
+            .as_ref()
+            .map(|_| std::time::Instant::now());
+        let mut ib_energy: Option<Vec<f64>> = self
+            .config
+            .telemetry
+            .as_ref()
+            .map(|_| vec![0.0; kernel.ibs.len().max(1)]);
         let mut reduce_acc = vec![0i32; n_slots];
         let mut trace: Option<Vec<TraceEvent>> = None;
         let mut events: Vec<FaultEvent> = Vec::new();
@@ -597,6 +662,32 @@ impl Machine {
             meter.merge(&outcome.meter);
             writes_per_exec = writes_per_exec.max(outcome.wear);
             instructions_executed += outcome.instructions;
+            if let (Some(total), Some(part)) = (ib_energy.as_mut(), outcome.ib_energy.as_ref()) {
+                for (t, p) in total.iter_mut().zip(part) {
+                    *t += p;
+                }
+            }
+        }
+        if let (Some(t), Some(t0)) = (&self.config.telemetry, merge_start) {
+            let merge_nanos = t0.elapsed().as_nanos();
+            t.record_nanos("sim.engine.merge", merge_nanos);
+            let groups_per_worker = if workers == 1 {
+                vec![groups_total]
+            } else {
+                let chunk = groups_total.div_ceil(workers);
+                (0..workers)
+                    .map(|w| groups_total.saturating_sub(w * chunk).min(chunk))
+                    .filter(|&g| g > 0)
+                    .collect()
+            };
+            t.set_engine(imp_telemetry::EngineStats {
+                workers,
+                groups: groups_total,
+                rounds,
+                groups_per_worker,
+                attempts: attempt_idx + 1,
+                merge_nanos,
+            });
         }
 
         // One in-network reduction per round, over the tiles the round's
@@ -701,6 +792,7 @@ impl Machine {
             events,
             transport_events,
             transport_overhead_cycles,
+            ib_energy,
         })
     }
 
@@ -774,6 +866,9 @@ struct EngineCtx<'a> {
     net_deadline: Option<u64>,
     n_slots: usize,
     attempt_idx: u64,
+    /// Whether telemetry is installed; workers then attribute per-IB
+    /// energy into their [`GroupOutcome`].
+    telemetry_on: bool,
     fault_seed: u64,
     arrays_per_tile: usize,
     tiles: usize,
@@ -812,6 +907,9 @@ struct GroupOutcome {
     meter: EnergyMeter,
     wear: u64,
     instructions: u64,
+    /// Per-IB joules this group burned in local array ops. `None` when
+    /// telemetry is disabled — the hot loop then skips the attribution.
+    ib_energy: Option<Vec<f64>>,
 }
 
 /// Executes one instance group on `worker`, returning its complete
@@ -880,6 +978,7 @@ fn run_group(ctx: &EngineCtx, worker: &mut Worker, group: usize) -> Result<Group
         meter: EnergyMeter::new(),
         wear: 0,
         instructions: ctx.sched.entries.len() as u64,
+        ib_energy: ctx.telemetry_on.then(|| vec![0.0f64; ctx.num_ibs]),
     };
     let arrays = &mut worker.arrays;
     let round_base_net = round * ctx.module_latency * imp_noc::NET_CYCLES_PER_ARRAY_CYCLE;
@@ -941,7 +1040,10 @@ fn run_group(ctx: &EngineCtx, worker: &mut Worker, group: usize) -> Result<Group
                             }),
                             source,
                         })?;
-                outcome.meter.record_op(&op_trace, ctx.power);
+                let op_j = outcome.meter.record_op(&op_trace, ctx.power);
+                if let Some(per_ib) = outcome.ib_energy.as_mut() {
+                    per_ib[entry.ib] += op_j;
+                }
                 if outcome.trace.is_some() {
                     lane0_result = local.local_dst().map(|dst| match dst {
                         imp_isa::Addr::Mem(row) => arrays[entry.ib].read_word(row as usize, 0),
@@ -1012,6 +1114,46 @@ fn run_group(ctx: &EngineCtx, worker: &mut Worker, group: usize) -> Result<Group
         .unwrap_or(0);
     outcome.noc = worker.network.stats();
     Ok(outcome)
+}
+
+/// Derives per-IB execution profiles from the static schedule: each
+/// scheduled instruction's occupancy (`end - start`) is classified by
+/// kind — `Movg` is NoC transfer, `ReduceSum` is reduction, everything
+/// else is array compute — and the slack up to the module latency is
+/// stall. Computed once per run (never inside the group hot loop); the
+/// energy column comes from the worker-attributed per-IB joules.
+fn build_ib_profiles(
+    kernel: &CompiledKernel,
+    sched: &Schedule,
+    ib_energy: &[f64],
+) -> Vec<imp_telemetry::IbProfile> {
+    let mut profiles: Vec<imp_telemetry::IbProfile> = kernel
+        .ibs
+        .iter()
+        .enumerate()
+        .map(|(ib, cib)| imp_telemetry::IbProfile {
+            ib,
+            instructions: cib.block.instructions().len(),
+            energy_j: ib_energy.get(ib).copied().unwrap_or(0.0),
+            ..Default::default()
+        })
+        .collect();
+    for entry in &sched.entries {
+        let Some(profile) = profiles.get_mut(entry.ib) else {
+            continue;
+        };
+        let occupancy = entry.end.saturating_sub(entry.start);
+        match kernel.ibs[entry.ib].block.instructions()[entry.index] {
+            Instruction::Movg { .. } => profile.transfer_cycles += occupancy,
+            Instruction::ReduceSum { .. } => profile.reduction_cycles += occupancy,
+            _ => profile.compute_cycles += occupancy,
+        }
+    }
+    for profile in &mut profiles {
+        let busy = profile.compute_cycles + profile.transfer_cycles + profile.reduction_cycles;
+        profile.stall_cycles = sched.module_latency.saturating_sub(busy);
+    }
+    profiles
 }
 
 /// Maps a fatal transport error to the right [`SimError`]: deadline

@@ -1,0 +1,503 @@
+//! # imp-telemetry — observability for the compiler and simulator
+//!
+//! A lightweight tracing/metrics subsystem threaded through the compile
+//! and execution pipeline. A [`Telemetry`] handle is a cheap clonable
+//! reference to one shared recorder; components that receive one (via
+//! `CompileOptions::telemetry` / `SimConfig::telemetry`) record into it,
+//! components that don't pay **nothing** — every instrumented call site
+//! is gated on a single `Option` check and the disabled path allocates
+//! nothing.
+//!
+//! ## Instrument kinds
+//!
+//! - **Counters** ([`Telemetry::counter_add`]) — monotonic `u64` event
+//!   counts (merge decisions, retries, rounds). Increments commute, so
+//!   totals are deterministic however worker threads interleave.
+//! - **Span timers** ([`Telemetry::span`]) — wall-clock phase timers
+//!   (per compile phase, per run). Wall times are the *only*
+//!   non-deterministic values in a report; [`TelemetryReport::without_wall_times`]
+//!   masks them for golden-file and cross-parallelism comparisons.
+//! - **Histograms** ([`Telemetry::record_value`]) — running
+//!   count/sum/min/max summaries of a sampled quantity.
+//! - **Structured sections** — the simulator attaches typed per-IB
+//!   execution profiles ([`IbProfile`]) and parallel-engine statistics
+//!   ([`EngineStats`]) that have no natural string-keyed shape.
+//!
+//! ## Determinism
+//!
+//! All counters, histograms, profiles and engine statistics are derived
+//! from deterministic simulation state and are merged in ascending
+//! instance-group order by the engine, so a [`TelemetryReport`] — modulo
+//! wall times and the engine's worker topology
+//! ([`EngineStats::workers`]/[`EngineStats::groups_per_worker`], which
+//! legitimately record the chosen parallelism) — is bit-identical across
+//! `Parallelism::Serial` and any `Parallelism::Threads(n)`.
+//! `crates/sim/tests/telemetry_equivalence.rs` gates this property, along
+//! with telemetry-off runs being bit-identical to pre-telemetry
+//! behaviour.
+//!
+//! Keys are `&'static str` so recording never allocates for the name;
+//! reports snapshot into [`BTreeMap`]s so JSON key order is stable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Wall-clock statistics of one named span: how many times it ran and
+/// the total nanoseconds across those runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimerStat {
+    /// Completed spans recorded under this name.
+    pub count: u64,
+    /// Total wall nanoseconds across those spans. The only
+    /// non-deterministic quantity in a [`TelemetryReport`].
+    pub total_nanos: u128,
+}
+
+/// Running summary of a sampled value stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueStat {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl ValueStat {
+    fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for ValueStat {
+    fn default() -> Self {
+        ValueStat {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+}
+
+/// Per-instruction-block execution profile of one kernel run: the static
+/// schedule's cycle budget split by what the array spends it on, plus
+/// the energy the block's instructions actually burned.
+///
+/// Cycle figures are per *module execution* (one instance group through
+/// one round); multiply by [`EngineStats::rounds`] for whole-run totals.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IbProfile {
+    /// Instruction-block index.
+    pub ib: usize,
+    /// Static instructions in the block.
+    pub instructions: usize,
+    /// Cycles on local array compute (in-situ ops, LUT reads, register
+    /// traffic).
+    pub compute_cycles: u64,
+    /// Cycles issuing cross-IB `movg` transfers into the H-tree.
+    pub transfer_cycles: u64,
+    /// Cycles feeding the in-network reduction tree.
+    pub reduction_cycles: u64,
+    /// Idle cycles against the module's critical path (the block finished
+    /// early and waits for the slowest IB).
+    pub stall_cycles: u64,
+    /// Joules this block's instructions dissipated across the whole run
+    /// (all groups, all attempts), merged in ascending group order.
+    pub energy_j: f64,
+}
+
+/// Parallel-engine statistics of one kernel run ([`Machine::run`]'s
+/// group-sharding top half).
+///
+/// [`Machine::run`]: ../imp_sim/struct.Machine.html#method.run
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EngineStats {
+    /// Worker shards the run resolved to (after clamping to the group
+    /// count).
+    pub workers: usize,
+    /// Instance groups executed per attempt.
+    pub groups: usize,
+    /// Kernel invocations (rounds) per attempt.
+    pub rounds: u64,
+    /// Groups assigned to each worker shard, in shard order (the engine's
+    /// contiguous-chunk occupancy; deterministic for a given worker
+    /// count).
+    pub groups_per_worker: Vec<usize>,
+    /// Execution attempts the recovery loop ran (1 = first try stood).
+    pub attempts: u64,
+    /// Wall nanoseconds the ascending-group-order merge took, summed
+    /// over attempts. Non-deterministic; masked by
+    /// [`TelemetryReport::without_wall_times`].
+    pub merge_nanos: u128,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    counters: BTreeMap<&'static str, u64>,
+    timers: BTreeMap<&'static str, TimerStat>,
+    values: BTreeMap<&'static str, ValueStat>,
+    ib_profiles: Vec<IbProfile>,
+    engine: Option<EngineStats>,
+}
+
+/// A clonable handle to one shared telemetry recorder.
+///
+/// Install the *same* handle (clones share state) into
+/// `CompileOptions::telemetry` and `SimConfig::telemetry` to collect a
+/// unified compile + execution report, or separate handles to keep them
+/// apart. `None` in those fields disables instrumentation entirely: the
+/// simulator's hot paths then perform one `Option` discriminant check
+/// and nothing else — no allocation, no locking, no arithmetic.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Arc<Mutex<State>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry").finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Adds `delta` to the named monotonic counter (created at zero).
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        let mut state = self.inner.lock().expect("telemetry lock");
+        *state.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Records one sample into the named histogram summary.
+    pub fn record_value(&self, name: &'static str, value: f64) {
+        let mut state = self.inner.lock().expect("telemetry lock");
+        state.values.entry(name).or_default().record(value);
+    }
+
+    /// Starts a wall-clock span; the elapsed time is recorded under
+    /// `name` when the returned guard drops.
+    pub fn span(&self, name: &'static str) -> Span {
+        Span {
+            telemetry: self.clone(),
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Records an already-measured duration under the named timer.
+    pub fn record_nanos(&self, name: &'static str, nanos: u128) {
+        let mut state = self.inner.lock().expect("telemetry lock");
+        let timer = state.timers.entry(name).or_default();
+        timer.count += 1;
+        timer.total_nanos += nanos;
+    }
+
+    /// Installs the per-IB execution profiles of the latest run
+    /// (replacing any previous set).
+    pub fn set_ib_profiles(&self, profiles: Vec<IbProfile>) {
+        self.inner.lock().expect("telemetry lock").ib_profiles = profiles;
+    }
+
+    /// Installs the parallel-engine statistics of the latest run
+    /// (replacing any previous set).
+    pub fn set_engine(&self, stats: EngineStats) {
+        self.inner.lock().expect("telemetry lock").engine = Some(stats);
+    }
+
+    /// Snapshots everything recorded so far.
+    pub fn snapshot(&self) -> TelemetryReport {
+        let state = self.inner.lock().expect("telemetry lock");
+        TelemetryReport {
+            counters: state.counters.clone(),
+            timers: state.timers.clone(),
+            values: state.values.clone(),
+            ib_profiles: state.ib_profiles.clone(),
+            engine: state.engine.clone(),
+        }
+    }
+
+    /// Clears all recorded data (counters, timers, histograms, profiles,
+    /// engine stats), keeping the handle installed.
+    pub fn reset(&self) {
+        *self.inner.lock().expect("telemetry lock") = State::default();
+    }
+}
+
+/// Guard returned by [`Telemetry::span`]; records the elapsed wall time
+/// on drop.
+#[derive(Debug)]
+pub struct Span {
+    telemetry: Telemetry,
+    name: &'static str,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.telemetry
+            .record_nanos(self.name, self.start.elapsed().as_nanos());
+    }
+}
+
+/// An owned snapshot of a [`Telemetry`] recorder, exportable as
+/// structured JSON.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryReport {
+    /// Monotonic counters, by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Span timers, by name.
+    pub timers: BTreeMap<&'static str, TimerStat>,
+    /// Histogram summaries, by name.
+    pub values: BTreeMap<&'static str, ValueStat>,
+    /// Per-IB execution profiles of the latest simulated run.
+    pub ib_profiles: Vec<IbProfile>,
+    /// Parallel-engine statistics of the latest simulated run.
+    pub engine: Option<EngineStats>,
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Infinity; both are
+/// clamped to 0, which no deterministic instrument produces anyway).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "0".to_string()
+    }
+}
+
+impl TelemetryReport {
+    /// A copy with every wall-clock quantity zeroed (timer nanoseconds,
+    /// engine merge time) while keeping span/attempt *counts*. Two runs
+    /// of the same deterministic workload compare equal under this view
+    /// whatever the host's clock or thread count did.
+    pub fn without_wall_times(&self) -> Self {
+        let mut masked = self.clone();
+        for timer in masked.timers.values_mut() {
+            timer.total_nanos = 0;
+        }
+        if let Some(engine) = masked.engine.as_mut() {
+            engine.merge_nanos = 0;
+        }
+        masked
+    }
+
+    /// Serializes the report as a single JSON object with stable key
+    /// order (maps are sorted by name; profiles by IB index).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":{v}");
+        }
+        s.push_str("},\"timers\":{");
+        for (i, (name, t)) in self.timers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{name}\":{{\"count\":{},\"total_nanos\":{}}}",
+                t.count, t.total_nanos
+            );
+        }
+        s.push_str("},\"values\":{");
+        for (i, (name, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                v.count,
+                json_f64(v.sum),
+                json_f64(v.min),
+                json_f64(v.max)
+            );
+        }
+        s.push_str("},\"ib_profiles\":[");
+        for (i, p) in self.ib_profiles.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                concat!(
+                    "{{\"ib\":{},\"instructions\":{},\"compute_cycles\":{},",
+                    "\"transfer_cycles\":{},\"reduction_cycles\":{},",
+                    "\"stall_cycles\":{},\"energy_j\":{}}}"
+                ),
+                p.ib,
+                p.instructions,
+                p.compute_cycles,
+                p.transfer_cycles,
+                p.reduction_cycles,
+                p.stall_cycles,
+                json_f64(p.energy_j)
+            );
+        }
+        s.push_str("],\"engine\":");
+        match &self.engine {
+            None => s.push_str("null"),
+            Some(e) => {
+                let _ = write!(
+                    s,
+                    concat!(
+                        "{{\"workers\":{},\"groups\":{},\"rounds\":{},",
+                        "\"groups_per_worker\":["
+                    ),
+                    e.workers, e.groups, e.rounds
+                );
+                for (i, g) in e.groups_per_worker.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{g}");
+                }
+                let _ = write!(
+                    s,
+                    "],\"attempts\":{},\"merge_nanos\":{}}}",
+                    e.attempts, e.merge_nanos
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_across_clones() {
+        let t = Telemetry::new();
+        let t2 = t.clone();
+        t.counter_add("a", 2);
+        t2.counter_add("a", 3);
+        t2.counter_add("b", 1);
+        let snap = t.snapshot();
+        assert_eq!(snap.counters["a"], 5);
+        assert_eq!(snap.counters["b"], 1);
+    }
+
+    #[test]
+    fn spans_record_on_drop() {
+        let t = Telemetry::new();
+        {
+            let _span = t.span("phase");
+        }
+        {
+            let _span = t.span("phase");
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.timers["phase"].count, 2);
+    }
+
+    #[test]
+    fn value_stats_track_min_max_mean() {
+        let t = Telemetry::new();
+        for v in [4.0, -1.0, 7.0] {
+            t.record_value("v", v);
+        }
+        let snap = t.snapshot();
+        let v = snap.values["v"];
+        assert_eq!(v.count, 3);
+        assert_eq!(v.min, -1.0);
+        assert_eq!(v.max, 7.0);
+        assert!((v.mean() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn without_wall_times_masks_only_clocks() {
+        let t = Telemetry::new();
+        t.counter_add("c", 9);
+        t.record_nanos("timer", 1234);
+        t.set_engine(EngineStats {
+            workers: 2,
+            groups: 4,
+            rounds: 1,
+            groups_per_worker: vec![2, 2],
+            attempts: 1,
+            merge_nanos: 999,
+        });
+        let masked = t.snapshot().without_wall_times();
+        assert_eq!(masked.counters["c"], 9);
+        assert_eq!(masked.timers["timer"].count, 1);
+        assert_eq!(masked.timers["timer"].total_nanos, 0);
+        assert_eq!(masked.engine.as_ref().unwrap().merge_nanos, 0);
+        assert_eq!(masked.engine.as_ref().unwrap().groups_per_worker, [2, 2]);
+    }
+
+    #[test]
+    fn json_shape_is_stable_and_sorted() {
+        let t = Telemetry::new();
+        t.counter_add("z.last", 1);
+        t.counter_add("a.first", 2);
+        t.record_nanos("t", 0);
+        t.record_value("h", 1.5);
+        t.set_ib_profiles(vec![IbProfile {
+            ib: 0,
+            instructions: 3,
+            compute_cycles: 5,
+            transfer_cycles: 1,
+            reduction_cycles: 0,
+            stall_cycles: 2,
+            energy_j: 0.0,
+        }]);
+        let json = t.snapshot().to_json();
+        assert_eq!(
+            json,
+            concat!(
+                "{\"counters\":{\"a.first\":2,\"z.last\":1},",
+                "\"timers\":{\"t\":{\"count\":1,\"total_nanos\":0}},",
+                "\"values\":{\"h\":{\"count\":1,\"sum\":1.5e0,\"min\":1.5e0,\"max\":1.5e0}},",
+                "\"ib_profiles\":[{\"ib\":0,\"instructions\":3,\"compute_cycles\":5,",
+                "\"transfer_cycles\":1,\"reduction_cycles\":0,\"stall_cycles\":2,",
+                "\"energy_j\":0e0}],\"engine\":null}"
+            )
+        );
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let t = Telemetry::new();
+        t.counter_add("c", 1);
+        t.set_ib_profiles(vec![IbProfile::default()]);
+        t.reset();
+        assert_eq!(t.snapshot(), TelemetryReport::default());
+    }
+}

@@ -11,7 +11,8 @@
 //! ```
 
 use imp::compiler::perf;
-use imp::{ChipCapacity, CompileOptions, GraphBuilder, OptPolicy, Session, Shape, SimConfig};
+use imp::prelude::*;
+use imp::ChipCapacity;
 
 fn build(n: usize) -> imp::Graph {
     // Six independent chains per instance: plenty of intra-module ILP.
@@ -61,9 +62,10 @@ fn main() {
 
     // The Session API does the same selection internally.
     let n = 128;
-    let session =
-        Session::new_adaptive(build(n), CompileOptions::default(), SimConfig::functional())
-            .expect("adaptive compile");
+    let session = Session::builder(build(n))
+        .adaptive()
+        .build()
+        .expect("adaptive compile");
     println!(
         "\nadaptive session for {n} instances chose {} IBs per module,\n\
          module latency {} cycles.",

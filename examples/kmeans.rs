@@ -12,7 +12,7 @@
 //! ```
 
 use imp::workloads::workload;
-use imp::{Machine, OptPolicy, SimConfig};
+use imp::{Machine, OptPolicy, SimConfig, Telemetry};
 use imp_isa::Opcode;
 
 fn main() {
@@ -41,9 +41,13 @@ fn main() {
         counts.get(&Opcode::Movs).copied().unwrap_or(0)
     );
 
-    // Execute and summarize the clustering.
+    // Execute and summarize the clustering, with a telemetry recorder
+    // installed to expose the per-IB execution profile.
     let inputs = w.inputs(n, 123);
-    let mut machine = Machine::new(SimConfig::functional());
+    let mut machine = Machine::new(SimConfig {
+        telemetry: Some(Telemetry::new()),
+        ..SimConfig::functional()
+    });
     let report = machine.run(&kernel, &inputs).expect("runs");
     let (_, outputs, _) = w.build(n);
     let assignments = &report.outputs[&outputs[1]];
@@ -58,4 +62,24 @@ fn main() {
         report.energy.total_j() * 1e6,
         report.avg_adc_bits
     );
+
+    // Where the module's cycle budget goes, per instruction block.
+    let telemetry = report.telemetry.as_ref().expect("telemetry installed");
+    println!("\nper-IB execution profile (cycles per module execution):");
+    println!(
+        "{:<4} {:>6} {:>9} {:>10} {:>11} {:>7} {:>11}",
+        "ib", "insts", "compute", "transfer", "reduction", "stall", "energy nJ"
+    );
+    for p in &telemetry.ib_profiles {
+        println!(
+            "{:<4} {:>6} {:>9} {:>10} {:>11} {:>7} {:>11.2}",
+            p.ib,
+            p.instructions,
+            p.compute_cycles,
+            p.transfer_cycles,
+            p.reduction_cycles,
+            p.stall_cycles,
+            p.energy_j * 1e9
+        );
+    }
 }

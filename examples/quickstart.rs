@@ -6,7 +6,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use imp::{GraphBuilder, Session, Shape, Tensor};
+use imp::prelude::*;
 
 fn main() -> Result<(), imp::Error> {
     // --- 1. Express the kernel as a data-flow graph (the TensorFlow-style
@@ -23,12 +23,12 @@ fn main() -> Result<(), imp::Error> {
     // Cross-instance reduction through the H-tree adder network.
     let variance = g.sum(contrib, 0)?;
     g.fetch(contrib);
-    g.fetch(variance);
+    g.fetch_as("variance", variance);
     let graph = g.finish();
 
     // --- 2. Compile and load. Every step of §5's pipeline runs here:
     //        module formation, node merging, lowering, BUG scheduling.
-    let mut session = Session::new(graph, Default::default())?;
+    let mut session = Session::builder(graph).build()?;
     let kernel = session.kernel();
     println!("compiled kernel:");
     println!("  instruction blocks : {}", kernel.ibs.len());
@@ -43,7 +43,7 @@ fn main() -> Result<(), imp::Error> {
     let mean_value = data.data().iter().sum::<f64>() / n as f64;
     let outputs = session.run(&[("x", data), ("mean", Tensor::scalar(mean_value))])?;
 
-    let variance_value = outputs.output(variance).unwrap().data()[0];
+    let variance_value = outputs.by_name("variance")?.data()[0];
     println!("\nresult:");
     println!("  variance (in-memory chip) : {variance_value:.4}");
 

@@ -1,0 +1,183 @@
+//! Satellite gates for the fluent session API: builder defaults must be
+//! *exactly* the configs `Session::new` has always used, the knobs must
+//! land where they claim, and name-based output lookup must resolve (and
+//! refuse) correctly.
+
+use imp::prelude::*;
+use imp::{LinkFaultRates, WatchdogConfig};
+
+fn square_graph(n: usize) -> (imp::Graph, NodeId) {
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", Shape::vector(n)).unwrap();
+    let y = g.square(x).unwrap();
+    g.fetch_as("y", y);
+    (g.finish(), y)
+}
+
+/// `Session::builder(g).build()` must be indistinguishable from
+/// `Session::new(g, Default::default())`: every compile option and every
+/// simulator field at its historical default.
+#[test]
+fn builder_defaults_match_default_configs_field_by_field() {
+    let (graph, _) = square_graph(16);
+    let builder = Session::builder(graph);
+
+    let opts = builder.peek_compile_options();
+    let defaults = CompileOptions::default();
+    assert_eq!(opts.format, defaults.format);
+    assert_eq!(opts.policy, defaults.policy);
+    assert_eq!(opts.expected_instances, defaults.expected_instances);
+    assert_eq!(opts.div_iterations, defaults.div_iterations);
+    assert_eq!(opts.sqrt_iterations, defaults.sqrt_iterations);
+    assert_eq!(opts.node_merging, defaults.node_merging);
+    assert_eq!(opts.pipelining, defaults.pipelining);
+    assert_eq!(opts.ranges, defaults.ranges);
+    assert_eq!(opts.capacity, defaults.capacity);
+    assert_eq!(opts.analog, defaults.analog);
+    assert!(opts.telemetry.is_none());
+
+    let config = builder.peek_sim_config();
+    let functional = SimConfig::functional();
+    assert_eq!(config.capacity, functional.capacity);
+    assert_eq!(config.analog, functional.analog);
+    assert_eq!(config.noc, functional.noc);
+    assert_eq!(config.trace, functional.trace);
+    assert_eq!(config.fault_seed, functional.fault_seed);
+    assert_eq!(config.faults, functional.faults);
+    assert_eq!(config.transport, functional.transport);
+    assert_eq!(config.watchdog, functional.watchdog);
+    assert_eq!(config.parallelism, functional.parallelism);
+    assert!(config.telemetry.is_none());
+}
+
+/// Every builder knob must land in the session's actual configuration.
+#[test]
+fn builder_round_trips_every_knob_into_the_session() {
+    let (graph, _) = square_graph(16);
+    let session = Session::builder(graph)
+        .parallelism(Parallelism::Threads(3))
+        .fault_policy(FaultPolicy::Retry {
+            max: 5,
+            backoff_cycles: 16,
+        })
+        .fault_seed(42)
+        .transport(TransportConfig {
+            rates: LinkFaultRates::flips(0.0),
+            policy: TransportPolicy::AckRetransmit { max: 8, backoff: 4 },
+        })
+        .watchdog(WatchdogConfig {
+            max_cycles: 1 << 30,
+            max_attempts: 9,
+        })
+        .trace(true)
+        .shadow_tolerance_ulps(512.0)
+        .telemetry(Telemetry::new())
+        .build()
+        .unwrap();
+
+    let config = session.sim_config();
+    assert_eq!(config.parallelism, Parallelism::Threads(3));
+    assert_eq!(
+        config.faults.as_ref().unwrap().policy,
+        FaultPolicy::Retry {
+            max: 5,
+            backoff_cycles: 16
+        }
+    );
+    assert_eq!(config.fault_seed, 42);
+    assert!(matches!(
+        config.transport.as_ref().unwrap().policy,
+        TransportPolicy::AckRetransmit { max: 8, backoff: 4 }
+    ));
+    assert_eq!(config.watchdog.as_ref().unwrap().max_attempts, 9);
+    assert!(config.trace);
+    assert!(config.telemetry.is_some());
+    assert_eq!(session.shadow_config().unwrap().tolerance_ulps, 512.0);
+}
+
+/// A builder-constructed session with a shared telemetry handle collects
+/// compile-phase timers *and* run counters into one report.
+#[test]
+fn builder_telemetry_unifies_compile_and_run_instrumentation() {
+    let telemetry = Telemetry::new();
+    let (graph, _) = square_graph(32);
+    let mut session = Session::builder(graph)
+        .parallelism(Parallelism::Serial)
+        .telemetry(telemetry.clone())
+        .build()
+        .unwrap();
+    let out = session
+        .run(&[("x", Tensor::from_fn(Shape::vector(32), |i| i as f64 / 8.0))])
+        .unwrap();
+    let report = out.report().telemetry.as_ref().expect("telemetry snapshot");
+    assert!(report.timers.contains_key("compile.total"));
+    assert!(report.counters.contains_key("compile.modules_formed"));
+    assert_eq!(report.counters["sim.runs"], 1);
+    assert!(!report.ib_profiles.is_empty());
+}
+
+/// `by_name` resolves explicit `fetch_as` names and implicit
+/// placeholder/variable names; unknown and ambiguous names are typed
+/// errors.
+#[test]
+fn outputs_resolve_by_name() {
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", Shape::vector(8)).unwrap();
+    let y = g.square(x).unwrap();
+    g.fetch_as("y", y);
+    g.fetch(x); // implicit name: the placeholder's own
+    let mut session = Session::builder(g.finish()).build().unwrap();
+    let out = session
+        .run(&[("x", Tensor::from_fn(Shape::vector(8), |i| i as f64 / 4.0))])
+        .unwrap();
+
+    assert_eq!(out.by_name("y").unwrap(), out.output(y).unwrap());
+    assert_eq!(out.by_name("x").unwrap(), out.output(x).unwrap());
+    assert!(matches!(
+        out.by_name("nope"),
+        Err(imp::Error::UnknownOutput(name)) if name == "nope"
+    ));
+}
+
+/// Two outputs answering to the same name must refuse the lookup with
+/// the full candidate list rather than silently picking one.
+#[test]
+fn duplicate_output_names_are_ambiguous() {
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", Shape::vector(8)).unwrap();
+    let y = g.square(x).unwrap();
+    g.fetch(x); // answers to "x" implicitly
+    g.fetch_as("x", y); // answers to "x" explicitly
+    let mut session = Session::builder(g.finish()).build().unwrap();
+    let out = session
+        .run(&[("x", Tensor::from_fn(Shape::vector(8), |i| i as f64 / 4.0))])
+        .unwrap();
+    match out.by_name("x") {
+        Err(imp::Error::AmbiguousOutput { name, nodes }) => {
+            assert_eq!(name, "x");
+            assert_eq!(nodes.len(), 2);
+            assert!(nodes.contains(&x) && nodes.contains(&y));
+        }
+        other => panic!("expected AmbiguousOutput, got {other:?}"),
+    }
+}
+
+/// `Error::ShadowDivergence` participates in the standard error chain:
+/// `source()` yields the `ShadowReport` (previously `None`).
+#[test]
+fn shadow_divergence_source_is_the_report() {
+    use std::error::Error as _;
+    let (graph, _) = square_graph(8);
+    let mut session = Session::builder(graph)
+        .shadow_tolerance_ulps(-1.0) // every rounding error "diverges"
+        .build()
+        .unwrap();
+    let err = session
+        .run(&[("x", Tensor::from_fn(Shape::vector(8), |i| i as f64 / 4.0))])
+        .unwrap_err();
+    let source = err.source().expect("divergence carries a source");
+    let report = source
+        .downcast_ref::<imp::ShadowReport>()
+        .expect("source is the ShadowReport");
+    assert!(report.diverged());
+}

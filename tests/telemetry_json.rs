@@ -1,0 +1,73 @@
+//! Telemetry JSON schema stability: the wall-time-masked report of a
+//! fixed workload must serialize byte-for-byte to the checked-in golden
+//! file. Any key rename, reorder, or format change — accidental or
+//! deliberate — shows up as a diff here.
+//!
+//! To regenerate after an *intentional* schema change:
+//! `TELEMETRY_GOLDEN_UPDATE=1 cargo test -p imp --test telemetry_json`
+
+use imp::prelude::*;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/telemetry.json"
+);
+
+/// Fixed workload: y = x² + x over 96 elements plus its reduction, so the
+/// report exercises compute, transfer, reduction and stall cycle classes.
+fn golden_report() -> TelemetryReport {
+    let telemetry = Telemetry::new();
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", Shape::vector(96)).unwrap();
+    let sq = g.square(x).unwrap();
+    let y = g.add(sq, x).unwrap();
+    let s = g.sum(sq, 0).unwrap();
+    g.fetch_as("y", y);
+    g.fetch_as("sum", s);
+    let mut session = Session::builder(g.finish())
+        .policy(OptPolicy::MaxDlp)
+        .parallelism(Parallelism::Serial)
+        .telemetry(telemetry.clone())
+        .build()
+        .unwrap();
+    let out = session
+        .run(&[(
+            "x",
+            Tensor::from_fn(Shape::vector(96), |i| ((i % 53) as f64) / 16.0 - 1.5),
+        )])
+        .unwrap();
+    out.report()
+        .telemetry
+        .as_ref()
+        .expect("telemetry snapshot attached")
+        .without_wall_times()
+}
+
+#[test]
+fn telemetry_json_matches_golden_file() {
+    let json = golden_report().to_json();
+    if std::env::var_os("TELEMETRY_GOLDEN_UPDATE").is_some() {
+        std::fs::write(GOLDEN_PATH, format!("{json}\n")).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — regenerate with TELEMETRY_GOLDEN_UPDATE=1");
+    assert_eq!(
+        json,
+        golden.trim_end(),
+        "telemetry JSON schema drifted from tests/golden/telemetry.json"
+    );
+}
+
+/// The golden workload is Serial; the masked report must already be free
+/// of wall-clock residue (every timer present, every duration zero).
+#[test]
+fn masked_report_keeps_counts_but_zeroes_clocks() {
+    let report = golden_report();
+    assert!(report.timers["compile.total"].count >= 1);
+    assert!(report.timers["sim.run"].count >= 1);
+    for (name, timer) in &report.timers {
+        assert_eq!(timer.total_nanos, 0, "timer `{name}` retains wall time");
+    }
+    assert_eq!(report.engine.as_ref().unwrap().merge_nanos, 0);
+}

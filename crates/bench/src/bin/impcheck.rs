@@ -1,0 +1,158 @@
+//! `impcheck` — static verification of the full compiled-kernel corpus.
+//!
+//! Runs the `imp-verify` rule catalog over every workload kernel (all
+//! three optimization policies) plus a set of representative example
+//! graphs, pretty-prints every diagnostic, and exits non-zero when any
+//! error-severity (`Deny`-level) finding fires.
+//!
+//! The rendered report doubles as a golden file
+//! (`tests/golden/verify_diagnostics.txt`): a run compares its output
+//! byte-for-byte against the checked-in copy, so *any* drift in the
+//! diagnostics the corpus produces — new findings, reworded messages,
+//! vanished warnings — fails CI until the golden is deliberately
+//! regenerated with `VERIFY_GOLDEN_UPDATE=1 cargo run --bin impcheck`.
+
+use imp::verify::{verify_kernel, VerifyReport};
+use imp::{CompileOptions, CompiledKernel, Graph, GraphBuilder, OptPolicy, Shape};
+use imp_dfg::range::Interval;
+use imp_workloads::all_workloads;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/verify_diagnostics.txt"
+);
+
+const POLICIES: [OptPolicy; 3] = [
+    OptPolicy::MaxDlp,
+    OptPolicy::MaxIlp,
+    OptPolicy::MaxArrayUtil,
+];
+
+/// Representative example graphs (mirroring `examples/`): a pure
+/// elementwise chain, a LUT-seeded division, and a reduction.
+fn example_graphs() -> Vec<(&'static str, Graph, HashMap<String, Interval>)> {
+    let mut examples = Vec::new();
+
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", Shape::vector(64)).unwrap();
+    let sq = g.square(x).unwrap();
+    let y = g.add(sq, x).unwrap();
+    g.fetch_as("y", y);
+    examples.push(("quickstart", g.finish(), HashMap::new()));
+
+    let mut g = GraphBuilder::new();
+    let a = g.placeholder("a", Shape::vector(64)).unwrap();
+    let b = g.placeholder("b", Shape::vector(64)).unwrap();
+    let q = g.div(a, b).unwrap();
+    g.fetch_as("q", q);
+    let ranges: HashMap<String, Interval> = [
+        ("a".to_string(), Interval::new(-4.0, 4.0)),
+        ("b".to_string(), Interval::new(1.0, 8.0)),
+    ]
+    .into_iter()
+    .collect();
+    examples.push(("division", g.finish(), ranges));
+
+    let mut g = GraphBuilder::new();
+    let x = g.placeholder("x", Shape::vector(128)).unwrap();
+    let sq = g.square(x).unwrap();
+    let s = g.sum(sq, 0).unwrap();
+    g.fetch_as("ssq", s);
+    examples.push(("reduction", g.finish(), HashMap::new()));
+
+    examples
+}
+
+/// One corpus entry's contribution to the report.
+fn check(name: &str, policy: Option<OptPolicy>, kernel: &CompiledKernel) -> (String, VerifyReport) {
+    let report = verify_kernel(kernel);
+    let label = match policy {
+        Some(p) => format!("{name} [{p:?}]"),
+        None => name.to_string(),
+    };
+    let mut text = String::new();
+    let errors = report.errors().count();
+    let warnings = report.diagnostics.len() - errors;
+    let _ = writeln!(
+        text,
+        "{label:<32} ibs {:>3}  insts {:>4}  errors {errors}  warnings {warnings}",
+        kernel.ibs.len(),
+        kernel.ibs.iter().map(|ib| ib.block.len()).sum::<usize>(),
+    );
+    for d in &report.diagnostics {
+        for line in d.to_string().lines() {
+            let _ = writeln!(text, "    {line}");
+        }
+    }
+    (text, report)
+}
+
+fn main() {
+    imp_bench::header("impcheck — static verifier over the examples + workloads corpus");
+
+    let mut out = String::new();
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+    let mut kernels = 0usize;
+
+    for (name, graph, ranges) in example_graphs() {
+        let options = CompileOptions {
+            ranges,
+            expected_instances: 64,
+            ..Default::default()
+        };
+        let kernel = imp::compile(&graph, &options).expect("example compiles");
+        let (text, report) = check(name, None, &kernel);
+        out.push_str(&text);
+        kernels += 1;
+        total_errors += report.errors().count();
+        total_warnings += report.diagnostics.len() - report.errors().count();
+    }
+
+    for w in all_workloads() {
+        for policy in POLICIES {
+            let kernel = w.compile(64, policy).expect("workload compiles");
+            let (text, report) = check(w.name, Some(policy), &kernel);
+            out.push_str(&text);
+            kernels += 1;
+            total_errors += report.errors().count();
+            total_warnings += report.diagnostics.len() - report.errors().count();
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "\n{kernels} kernels verified: {total_errors} error(s), {total_warnings} warning(s)"
+    );
+    print!("{out}");
+
+    if std::env::var_os("VERIFY_GOLDEN_UPDATE").is_some() {
+        std::fs::write(GOLDEN_PATH, &out).expect("write golden diagnostics");
+        println!("golden updated: {GOLDEN_PATH}");
+        return;
+    }
+    match std::fs::read_to_string(GOLDEN_PATH) {
+        Ok(golden) if golden == out => {
+            println!("diagnostics match the committed golden file");
+        }
+        Ok(_) => {
+            eprintln!(
+                "diagnostics drifted from {GOLDEN_PATH} — regenerate with \
+                 VERIFY_GOLDEN_UPDATE=1 if the change is intentional"
+            );
+            std::process::exit(1);
+        }
+        Err(err) => {
+            eprintln!(
+                "golden file {GOLDEN_PATH} unreadable ({err}); run with VERIFY_GOLDEN_UPDATE=1"
+            );
+            std::process::exit(1);
+        }
+    }
+    if total_errors > 0 {
+        eprintln!("{total_errors} Deny-level diagnostic(s) — corpus must verify clean");
+        std::process::exit(1);
+    }
+}

@@ -38,6 +38,9 @@ pub struct LoweredIb {
     pub peak_rows: usize,
     /// Peak register occupancy.
     pub peak_regs: usize,
+    /// Per-instruction originating scalar, where known (parallel to
+    /// `instructions`); verification maps it back to the DFG node.
+    pub provenance: Vec<Option<ScalarId>>,
 }
 
 /// The lowering result for a whole module.
@@ -174,6 +177,11 @@ struct IbState {
     lut_alloc: LutAllocator,
     /// Deps collected while preparing the current op's operands.
     pending_deps: Vec<(usize, usize)>,
+    /// The scalar currently being lowered; stamped onto every emitted
+    /// instruction as its provenance.
+    current: Option<ScalarId>,
+    /// Per-instruction originating scalar (parallel to `instructions`).
+    provenance: Vec<Option<ScalarId>>,
 }
 
 impl IbState {
@@ -193,6 +201,8 @@ impl IbState {
             reg_preloads: Vec::new(),
             lut_alloc: LutAllocator::new(),
             pending_deps: Vec::new(),
+            current: None,
+            provenance: Vec::new(),
         }
     }
 
@@ -200,6 +210,7 @@ impl IbState {
         let idx = self.instructions.len();
         self.instructions.push(inst);
         self.deps.push(std::mem::take(&mut self.pending_deps));
+        self.provenance.push(self.current);
         idx
     }
 
@@ -276,11 +287,13 @@ pub fn lower(
             continue;
         }
         if let Some(&home) = partition.ib_of.get(&id) {
+            ctx.set_current(Some(id));
             ctx.lower_op(id, home)?;
             ctx.emit_remote_moves(id, home)?;
             ctx.release_operands(id, home);
         }
     }
+    ctx.set_current(None);
     let outputs = ctx.assemble_outputs()?;
     let format = ctx.format;
     let ibs = ctx
@@ -295,6 +308,7 @@ pub fn lower(
             lut: state.lut_alloc.render(format.frac_bits()),
             peak_rows: state.rows.peak,
             peak_regs: state.regs.peak,
+            provenance: state.provenance,
         })
         .collect();
     Ok(Lowered { ibs, outputs })
@@ -303,6 +317,14 @@ pub fn lower(
 impl LowerCtx<'_> {
     fn raw(&self, value: f64) -> i32 {
         Fixed::from_f64_saturating(value, self.format).raw()
+    }
+
+    /// Sets the provenance scalar stamped onto instructions emitted from
+    /// here on, in every IB (materialization may emit in remote IBs too).
+    fn set_current(&mut self, id: Option<ScalarId>) {
+        for state in &mut self.ibs {
+            state.current = id;
+        }
     }
 
     /// Counts per-IB uses and remote consumers, and pins output rows.
@@ -383,9 +405,11 @@ impl LowerCtx<'_> {
                 }
             }
             for home in homes {
+                self.set_current(Some(id));
                 self.ensure_row(id, home)?;
             }
         }
+        self.set_current(None);
         Ok(())
     }
 
@@ -1260,7 +1284,9 @@ impl LowerCtx<'_> {
                     locs.push(OutputLoc::Reduced { slot });
                 } else {
                     let home = self.home_of(s);
+                    self.set_current(Some(s));
                     let row = self.ensure_row(s, home)?;
+                    self.set_current(None);
                     locs.push(OutputLoc::Row { ib: home, row });
                 }
             }

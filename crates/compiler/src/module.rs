@@ -2,7 +2,7 @@
 //! metadata the runtime uses to place data and read back results.
 
 use crate::lower::Lowered;
-use crate::scalar::{ParallelSpec, ScalarModule};
+use crate::scalar::{ParallelSpec, ScalarId, ScalarModule};
 use crate::schedule::Schedule;
 use crate::CompileOptions;
 use imp_dfg::{Graph, NodeId};
@@ -75,6 +75,9 @@ pub struct CompiledIb {
     /// pairs that must complete (including network delivery) before
     /// instruction `i` may issue.
     pub deps: Vec<Vec<(usize, usize)>>,
+    /// Per-instruction originating scalar, where known (parallel to
+    /// `block` instructions); diagnostics walk it back to the DFG node.
+    pub provenance: Vec<Option<ScalarId>>,
 }
 
 /// Where a module output element lives after execution.
@@ -302,6 +305,7 @@ pub fn assemble_kernel(
             peak_rows: ib.peak_rows,
             peak_regs: ib.peak_regs,
             deps: ib.deps,
+            provenance: ib.provenance,
         });
     }
     let stats = KernelStats {

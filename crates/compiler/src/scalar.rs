@@ -162,6 +162,9 @@ pub struct ScalarModule {
     pub class: Vec<VClass>,
     /// Per-scalar value interval, where derivable from declared ranges.
     pub range: Vec<Option<Interval>>,
+    /// Per-scalar originating DFG node, where known. Diagnostics use this
+    /// to name the graph-level operation an instruction descends from.
+    pub origin: Vec<Option<NodeId>>,
     /// Module outputs.
     pub outputs: Vec<SOutput>,
     /// The parallelization of the kernel.
@@ -198,6 +201,10 @@ struct Builder<'g> {
     ops: Vec<SOp>,
     class: Vec<VClass>,
     range: Vec<Option<Interval>>,
+    origin: Vec<Option<NodeId>>,
+    /// The graph node currently being scalarized; stamped onto every
+    /// scalar pushed while lowering it.
+    current_node: Option<NodeId>,
     const_cache: HashMap<u64, ScalarId>,
     /// Per graph node: scalar ids (row-major intra order) + intra shape.
     values: HashMap<NodeId, NodeVal>,
@@ -226,12 +233,15 @@ pub fn scalarize(graph: &Graph, options: &CompileOptions) -> Result<ScalarModule
         ops: Vec::new(),
         class: Vec::new(),
         range: Vec::new(),
+        origin: Vec::new(),
+        current_node: None,
         const_cache: HashMap::new(),
         values: HashMap::new(),
         parallel,
         ranges: options.ranges.clone(),
     };
     for node in graph.nodes() {
+        b.current_node = Some(node.id());
         let value = b.scalarize_node(node)?;
         b.values.insert(node.id(), value);
     }
@@ -257,6 +267,7 @@ pub fn scalarize(graph: &Graph, options: &CompileOptions) -> Result<ScalarModule
         ops: b.ops,
         class: b.class,
         range: b.range,
+        origin: b.origin,
         outputs,
         parallel,
     })
@@ -295,6 +306,7 @@ impl Builder<'_> {
         self.ops.push(op);
         self.class.push(class);
         self.range.push(range);
+        self.origin.push(self.current_node);
         id
     }
 

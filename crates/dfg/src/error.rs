@@ -44,6 +44,19 @@ pub enum DfgError {
     /// An operation received an argument outside its domain (e.g. sqrt of
     /// a negative interval during range analysis).
     Domain(String),
+    /// Range analysis hit a division (or reciprocal) whose divisor
+    /// interval spans zero: the quotient is unbounded on both sides, so no
+    /// fixed-point format can be certified. Structured so tooling can
+    /// point at the offending node instead of parsing a message.
+    ZeroSpanDivisor {
+        /// The dividing node, when the analysis knows it (interval
+        /// arithmetic performed outside a graph walk reports `None`).
+        node: Option<NodeId>,
+        /// Divisor interval lower bound.
+        lo: f64,
+        /// Divisor interval upper bound.
+        hi: f64,
+    },
     /// Range analysis needs an input range that was not provided.
     MissingRange(String),
 }
@@ -70,6 +83,13 @@ impl fmt::Display for DfgError {
                 write!(f, "reshape from {from} to {to} changes element count")
             }
             DfgError::Domain(message) => write!(f, "domain error: {message}"),
+            DfgError::ZeroSpanDivisor { node, lo, hi } => {
+                write!(f, "division by an interval containing zero: [{lo}, {hi}]")?;
+                if let Some(node) = node {
+                    write!(f, " at {node:?}")?;
+                }
+                Ok(())
+            }
             DfgError::MissingRange(name) => {
                 write!(f, "no value range declared for input `{name}`")
             }

@@ -49,39 +49,79 @@ impl Interval {
         self.lo >= format.min_value() && self.hi <= format.max_value()
     }
 
-    fn add(self, other: Interval) -> Interval {
-        Interval::new(self.lo + other.lo, self.hi + other.hi)
+    /// Builds an interval from possibly-NaN bound candidates by widening
+    /// each NaN to the corresponding infinity. Indeterminate forms of
+    /// interval arithmetic over unbounded operands (`0 · ∞`, `∞ − ∞`)
+    /// must degrade to "unknown in this direction", never poison every
+    /// downstream interval with NaN (which [`Interval::new`] rejects).
+    fn from_candidates(candidates: impl IntoIterator<Item = f64>) -> Interval {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut any = false;
+        for c in candidates {
+            if c.is_nan() {
+                continue;
+            }
+            lo = lo.min(c);
+            hi = hi.max(c);
+            any = true;
+        }
+        if !any {
+            return Interval::new(f64::NEG_INFINITY, f64::INFINITY);
+        }
+        Interval::new(lo, hi)
     }
 
-    fn sub(self, other: Interval) -> Interval {
-        Interval::new(self.lo - other.hi, self.hi - other.lo)
+    /// Interval sum.
+    ///
+    /// Named methods rather than the `std::ops` traits: `div` is
+    /// fallible (zero-spanning divisors are a domain error), so the
+    /// operator traits cannot model the family uniformly.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interval) -> Interval {
+        Interval::from_candidates([self.lo + other.lo, self.hi + other.hi])
     }
 
-    fn mul(self, other: Interval) -> Interval {
-        let candidates = [
+    /// Interval difference.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Interval) -> Interval {
+        Interval::from_candidates([self.lo - other.hi, self.hi - other.lo])
+    }
+
+    /// Interval product (NaN-safe: `0 · ∞` candidates widen to infinity
+    /// instead of poisoning the result).
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Interval) -> Interval {
+        Interval::from_candidates([
             self.lo * other.lo,
             self.lo * other.hi,
             self.hi * other.lo,
             self.hi * other.hi,
-        ];
-        Interval::new(
-            candidates.iter().copied().fold(f64::INFINITY, f64::min),
-            candidates.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-        )
+        ])
     }
 
-    fn div(self, other: Interval) -> Result<Interval, DfgError> {
+    /// Interval quotient.
+    ///
+    /// # Errors
+    /// Returns [`DfgError::ZeroSpanDivisor`] when `other` contains zero —
+    /// the quotient interval would be unbounded on both sides, so range
+    /// analysis cannot certify any fixed-point format. The caller (range
+    /// analysis) fills in the offending node.
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, other: Interval) -> Result<Interval, DfgError> {
         if other.lo <= 0.0 && other.hi >= 0.0 {
-            return Err(DfgError::Domain(format!(
-                "division by an interval containing zero: [{}, {}]",
-                other.lo, other.hi
-            )));
+            return Err(DfgError::ZeroSpanDivisor {
+                node: None,
+                lo: other.lo,
+                hi: other.hi,
+            });
         }
-        let inv = Interval::new(1.0 / other.hi, 1.0 / other.lo);
+        let inv = Interval::from_candidates([1.0 / other.hi, 1.0 / other.lo]);
         Ok(self.mul(inv))
     }
 
-    fn union(self, other: Interval) -> Interval {
+    /// Smallest interval containing both operands.
+    pub fn union(self, other: Interval) -> Interval {
         Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
     }
 }
@@ -109,8 +149,10 @@ pub struct RangeReport {
 ///
 /// # Errors
 /// * [`DfgError::MissingRange`] if an input has no declared range;
-/// * [`DfgError::Domain`] for operations whose interval operand leaves the
-///   domain (division through zero, sqrt of a negative interval).
+/// * [`DfgError::ZeroSpanDivisor`] for a division whose divisor interval
+///   contains zero, tagged with the offending node;
+/// * [`DfgError::Domain`] for other operations whose interval operand
+///   leaves the domain (sqrt of a negative interval).
 pub fn analyze(
     graph: &Graph,
     input_ranges: &HashMap<String, Interval>,
@@ -136,8 +178,10 @@ pub fn analyze(
             Op::Placeholder { name } | Op::Variable { name, .. } => *input_ranges
                 .get(name)
                 .ok_or_else(|| DfgError::MissingRange(name.clone()))?,
-            Op::Unary(op) => unary_interval(*op, get(0))?,
-            Op::Binary(op) => binary_interval(*op, get(0), get(1))?,
+            Op::Unary(op) => unary_interval(*op, get(0)).map_err(|e| at_node(e, node.id()))?,
+            Op::Binary(op) => {
+                binary_interval(*op, get(0), get(1)).map_err(|e| at_node(e, node.id()))?
+            }
             Op::Reduce { op, axis } => {
                 let x = get(0);
                 let n = graph.node(node.inputs()[0])?.shape().dim(*axis) as f64;
@@ -189,6 +233,19 @@ pub fn analyze(
         recommended_format,
         overflows,
     })
+}
+
+/// Attaches the node being analysed to location-aware diagnostics that
+/// bubbled up from bare interval arithmetic.
+fn at_node(err: DfgError, id: NodeId) -> DfgError {
+    match err {
+        DfgError::ZeroSpanDivisor { node: None, lo, hi } => DfgError::ZeroSpanDivisor {
+            node: Some(id),
+            lo,
+            hi,
+        },
+        other => other,
+    }
 }
 
 fn contraction_len(graph: &Graph, id: NodeId) -> Result<usize, DfgError> {
@@ -327,7 +384,13 @@ mod tests {
             &ranges(&[("a", 0.0, 1.0), ("b", -1.0, 1.0)]),
             QFormat::Q16_16,
         );
-        assert!(matches!(bad, Err(DfgError::Domain(_))));
+        match bad {
+            Err(DfgError::ZeroSpanDivisor { node, lo, hi }) => {
+                assert_eq!(node, Some(d));
+                assert_eq!((lo, hi), (-1.0, 1.0));
+            }
+            other => panic!("expected ZeroSpanDivisor, got {other:?}"),
+        }
         let good = analyze(
             &graph,
             &ranges(&[("a", 0.0, 1.0), ("b", 0.5, 2.0)]),

@@ -11,6 +11,7 @@ use imp_rram::QFormat;
 use imp_sim::{
     FaultConfig, FaultPolicy, Parallelism, SimConfig, Telemetry, TransportConfig, WatchdogConfig,
 };
+use imp_verify::VerifyLevel;
 
 /// Fluent constructor for [`Session`], started with [`Session::builder`].
 ///
@@ -196,16 +197,44 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets the static-verification level applied to the compiled kernel
+    /// (and, inside the simulator, to every remap reschedule).
+    ///
+    /// [`VerifyLevel::Warn`] (the default) records findings in telemetry
+    /// and continues; [`VerifyLevel::Deny`] fails [`build`](Self::build)
+    /// with [`Error::Verify`] when any error-severity diagnostic fires;
+    /// [`VerifyLevel::Off`] skips verification entirely.
+    pub fn verify(mut self, level: VerifyLevel) -> Self {
+        self.config.verify = level;
+        self
+    }
+
     /// Compiles the graph and binds it to the simulated chip.
     ///
     /// # Errors
-    /// Propagates compile errors.
+    /// Propagates compile errors. At [`VerifyLevel::Deny`], fails with
+    /// [`Error::Verify`] when the compiled kernel does not pass the
+    /// static verifier's error-severity checks.
     pub fn build(self) -> Result<Session, Error> {
+        let level = self.config.verify;
+        let arrays = self.config.capacity.arrays();
+        let telemetry = self.config.telemetry.clone();
         let mut session = if self.adaptive {
             Session::new_adaptive(self.graph, self.options, self.config)?
         } else {
             Session::with_config(self.graph, self.options, self.config)?
         };
+        if level != VerifyLevel::Off {
+            let kernel = session.kernel();
+            let avail = imp_compiler::ArrayAvailability::all(arrays);
+            let report = imp_verify::verify_with(kernel, &kernel.schedule, &avail);
+            if let Some(t) = &telemetry {
+                report.record(t);
+            }
+            if level == VerifyLevel::Deny && !report.passes_deny() {
+                return Err(Error::Verify(report));
+            }
+        }
         if let Some(shadow) = self.shadow {
             session.enable_shadow_validation(shadow);
         }

@@ -79,6 +79,7 @@ pub mod prelude {
         FaultConfig, FaultPolicy, Parallelism, SimConfig, Telemetry, TelemetryReport,
         TransportConfig, TransportPolicy, WatchdogConfig,
     };
+    pub use imp_verify::{VerifyLevel, VerifyReport};
 }
 
 pub use imp_baselines as baselines;
@@ -98,4 +99,6 @@ pub use imp_sim::{
     TelemetryReport, TransportConfig, TransportEvent, TransportFaultKind, TransportPolicy,
     WatchdogConfig,
 };
+pub use imp_verify as verify;
+pub use imp_verify::{verify_kernel, Diagnostic, Severity, VerifyLevel, VerifyReport};
 pub use imp_workloads as workloads;

@@ -70,6 +70,11 @@ pub enum Error {
     /// assert!(err.source().unwrap().is::<imp::ShadowReport>());
     /// ```
     ShadowDivergence(ShadowReport),
+    /// The static verifier rejected the compiled kernel at
+    /// [`VerifyLevel::Deny`](imp_verify::VerifyLevel::Deny). The full
+    /// report, with every diagnostic, is carried inline and reachable
+    /// through [`std::error::Error::source`].
+    Verify(imp_verify::VerifyReport),
     /// [`SessionOutputs::by_name`] found no fetched output answering to
     /// the name.
     UnknownOutput(String),
@@ -99,6 +104,13 @@ impl fmt::Display for Error {
             Error::ShadowDivergence(report) => {
                 write!(f, "shadow validation failed: {report}")
             }
+            Error::Verify(report) => {
+                write!(
+                    f,
+                    "kernel rejected by the static verifier: {} error(s)",
+                    report.errors().count()
+                )
+            }
             Error::UnknownOutput(name) => {
                 write!(f, "no fetched output named `{name}`")
             }
@@ -123,6 +135,7 @@ impl std::error::Error for Error {
             Error::Compile(e) => Some(e),
             Error::Sim { source, .. } => Some(source),
             Error::ShadowDivergence(report) => Some(report),
+            Error::Verify(report) => Some(report),
             Error::UnknownOutput(_) | Error::AmbiguousOutput { .. } => None,
         }
     }

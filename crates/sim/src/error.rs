@@ -47,6 +47,10 @@ pub enum SimError {
         /// Array cycles spent when the watchdog fired.
         spent_cycles: u64,
     },
+    /// The static verifier rejected a kernel at `Deny` level — either
+    /// the kernel handed to the simulator, or the schedule produced by
+    /// the remap policy's reschedule. Carries the full report.
+    Verify(imp_verify::VerifyReport),
 }
 
 impl fmt::Display for SimError {
@@ -83,6 +87,13 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "watchdog timeout: {spent_cycles} array cycles spent against a budget of {limit_cycles}"
+                )
+            }
+            SimError::Verify(report) => {
+                write!(
+                    f,
+                    "kernel rejected by the static verifier: {} error(s)",
+                    report.errors().count()
                 )
             }
         }

@@ -86,6 +86,14 @@ pub struct SimConfig {
     /// instrumentation entirely — the hot paths then perform one `Option`
     /// check and execution is bit-identical to an uninstrumented build.
     pub telemetry: Option<imp_telemetry::Telemetry>,
+    /// Static verification of schedules produced *during* execution
+    /// (the remap policy's reschedule).
+    /// [`VerifyLevel::Warn`](imp_verify::VerifyLevel::Warn) (the
+    /// default) records findings in telemetry;
+    /// [`VerifyLevel::Deny`](imp_verify::VerifyLevel::Deny) aborts the
+    /// run with [`SimError::Verify`] when a rescheduled kernel fails an
+    /// error-severity check.
+    pub verify: imp_verify::VerifyLevel,
 }
 
 impl SimConfig {
@@ -102,6 +110,7 @@ impl SimConfig {
             watchdog: None,
             parallelism: Parallelism::Auto,
             telemetry: None,
+            verify: imp_verify::VerifyLevel::Warn,
         }
     }
 
@@ -118,6 +127,7 @@ impl SimConfig {
             watchdog: None,
             parallelism: Parallelism::Auto,
             telemetry: None,
+            verify: imp_verify::VerifyLevel::Warn,
         }
     }
 }
@@ -488,7 +498,7 @@ impl Machine {
                         avail.retire(event.site.physical_slot);
                     }
                     fault_overhead_cycles += attempt.cycles;
-                    schedule_override = Some(match imp_compiler::reschedule(kernel, &avail) {
+                    let resched = match imp_compiler::reschedule(kernel, &avail) {
                         Ok(sched) => sched,
                         Err(imp_compiler::CompileError::OutOfArrays { needed, usable }) => {
                             return Err(SimError::OutOfArrays {
@@ -497,7 +507,22 @@ impl Machine {
                             });
                         }
                         Err(other) => unreachable!("rescheduling a compiled kernel: {other}"),
-                    });
+                    };
+                    // Re-verify the remapped kernel: rescheduling must
+                    // not move an IB onto a retired array or break the
+                    // timetable's hazard invariants.
+                    if self.config.verify != imp_verify::VerifyLevel::Off {
+                        let report = imp_verify::verify_with(kernel, &resched, &avail);
+                        if let Some(t) = tel.as_ref() {
+                            report.record(t);
+                        }
+                        if self.config.verify == imp_verify::VerifyLevel::Deny
+                            && !report.passes_deny()
+                        {
+                            return Err(SimError::Verify(report));
+                        }
+                    }
+                    schedule_override = Some(resched);
                 }
             }
             // Watchdog progress ceiling: the policy wants another attempt;

@@ -272,6 +272,31 @@ fn remap_reproduces_golden_at_reduced_throughput() {
     assert!(report.fault_overhead_cycles > 0);
 }
 
+/// The remap policy's reschedule is re-verified before it replaces the
+/// schedule: at `Deny` level a valid reschedule must still pass (and the
+/// run succeed), with the verifier's findings recorded in telemetry.
+#[test]
+fn remap_reschedule_passes_deny_verification() {
+    let (kernel, inputs, y) = quadratic(2048, one_tile());
+    let rates = FaultRates::cells(1e-5);
+    let mut config = faulty_config(2026, rates, FaultPolicy::Remap);
+    config.verify = imp_verify::VerifyLevel::Deny;
+    config.telemetry = Some(imp_telemetry::Telemetry::new());
+    let report = Machine::new(config)
+        .run(&kernel, &inputs)
+        .expect("a legal reschedule must pass Deny-level verification");
+    assert!(
+        !report.retired_arrays.is_empty(),
+        "this population retires arrays, so at least one reschedule ran"
+    );
+    assert!(report.outputs.contains_key(&y));
+    let tel = report.telemetry.expect("telemetry was installed");
+    assert!(
+        tel.counters["verify.runs"] >= 1,
+        "each remap reschedule records one verifier run"
+    );
+}
+
 proptest::proptest! {
     /// The zero-cost guarantee: with the fault model disabled, outputs are
     /// bit-identical regardless of the fault seed.

@@ -1,0 +1,249 @@
+//! ISA and operand legality: rules `ISA01`–`ISA04`.
+
+use crate::{origin_node, Diagnostic, Severity};
+use imp_compiler::module::{vaddr, OutputLoc};
+use imp_compiler::CompiledKernel;
+use imp_isa::{Addr, Instruction, ARRAY_ROWS, NUM_REGISTERS};
+use std::collections::{HashMap, HashSet};
+
+pub(crate) fn check(kernel: &CompiledKernel, out: &mut Vec<Diagnostic>) {
+    let num_ibs = kernel.ibs.len();
+    let reduced_slots: HashSet<usize> = kernel
+        .outputs
+        .iter()
+        .flat_map(|o| o.locs.iter())
+        .filter_map(|loc| match loc {
+            OutputLoc::Reduced { slot } => Some(*slot),
+            OutputLoc::Row { .. } => None,
+        })
+        .collect();
+
+    for (i, ib) in kernel.ibs.iter().enumerate() {
+        check_layout(kernel, i, out);
+        let mut lut_programmed_checked = false;
+        for (pc, inst) in ib.block.instructions().iter().enumerate() {
+            for addr in inst.local_srcs().into_iter().chain(inst.local_dst()) {
+                check_addr(kernel, i, pc, addr, out);
+            }
+            match *inst {
+                Instruction::Movg { src, dst } => {
+                    match vaddr::as_cross_ib(src) {
+                        Some((src_ib, _)) if src_ib == i => {}
+                        Some((src_ib, _)) => out.push(Diagnostic {
+                            rule: "ISA02",
+                            severity: Severity::Error,
+                            ib: Some(i),
+                            pc: Some(pc),
+                            node: origin_node(kernel, i, pc),
+                            message: format!(
+                                "movg source {src} names ib{src_ib}, but the instruction executes in ib{i}"
+                            ),
+                            help: "a movg reads a row of its own IB; encode the source as vaddr::cross_ib(self, row)".into(),
+                        }),
+                        None => out.push(Diagnostic {
+                            rule: "ISA02",
+                            severity: Severity::Error,
+                            ib: Some(i),
+                            pc: Some(pc),
+                            node: origin_node(kernel, i, pc),
+                            message: format!("movg source {src} is not a cross-IB virtual address"),
+                            help: "encode the source as vaddr::cross_ib(self, row)".into(),
+                        }),
+                    }
+                    match (vaddr::as_cross_ib(dst), vaddr::as_output_slot(dst)) {
+                        (Some((dst_ib, _)), _) if dst_ib < num_ibs && dst_ib != i => {}
+                        (Some((dst_ib, _)), _) => out.push(Diagnostic {
+                            rule: "ISA02",
+                            severity: Severity::Error,
+                            ib: Some(i),
+                            pc: Some(pc),
+                            node: origin_node(kernel, i, pc),
+                            message: if dst_ib == i {
+                                format!("movg destination {dst} targets its own IB")
+                            } else {
+                                format!(
+                                    "movg destination {dst} targets ib{dst_ib}, but the kernel has {num_ibs} IBs"
+                                )
+                            },
+                            help: "cross-IB moves must deliver to a different, existing IB".into(),
+                        }),
+                        (None, Some(_)) => {}
+                        (None, None) => out.push(Diagnostic {
+                            rule: "ISA02",
+                            severity: Severity::Error,
+                            ib: Some(i),
+                            pc: Some(pc),
+                            node: origin_node(kernel, i, pc),
+                            message: format!(
+                                "movg destination {dst} is neither a cross-IB address nor an output slot"
+                            ),
+                            help: "encode the destination with vaddr::cross_ib or vaddr::output_slot".into(),
+                        }),
+                    }
+                }
+                Instruction::ReduceSum { dst, .. } => match vaddr::as_output_slot(dst) {
+                    Some(slot) if reduced_slots.contains(&slot) => {}
+                    Some(slot) => out.push(Diagnostic {
+                        rule: "ISA02",
+                        severity: Severity::Error,
+                        ib: Some(i),
+                        pc: Some(pc),
+                        node: origin_node(kernel, i, pc),
+                        message: format!(
+                            "reduce_sum targets output slot {slot}, which no kernel output declares"
+                        ),
+                        help: "every reduction slot must appear as an OutputLoc::Reduced in the kernel outputs".into(),
+                    }),
+                    None => out.push(Diagnostic {
+                        rule: "ISA02",
+                        severity: Severity::Error,
+                        ib: Some(i),
+                        pc: Some(pc),
+                        node: origin_node(kernel, i, pc),
+                        message: format!("reduce_sum destination {dst} is not an output-slot address"),
+                        help: "encode the destination with vaddr::output_slot".into(),
+                    }),
+                },
+                Instruction::Lut { .. } if !lut_programmed_checked => {
+                    lut_programmed_checked = true;
+                    if (0..512).all(|e| ib.lut.entry(e) == 0) {
+                        out.push(Diagnostic {
+                            rule: "ISA04",
+                            severity: Severity::Warning,
+                            ib: Some(i),
+                            pc: Some(pc),
+                            node: origin_node(kernel, i, pc),
+                            message: "lut instruction reads an unprogrammed (all-zero) table".into(),
+                            help: "program the IB's LUT before emitting lut, or remove the instruction".into(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn check_addr(
+    kernel: &CompiledKernel,
+    ib: usize,
+    pc: usize,
+    addr: Addr,
+    out: &mut Vec<Diagnostic>,
+) {
+    let (limit, kind) = if addr.is_mem() {
+        (ARRAY_ROWS, "row")
+    } else {
+        (NUM_REGISTERS, "register")
+    };
+    if addr.index() >= limit {
+        out.push(Diagnostic {
+            rule: "ISA01",
+            severity: Severity::Error,
+            ib: Some(ib),
+            pc: Some(pc),
+            node: origin_node(kernel, ib, pc),
+            message: format!("{kind} operand {addr} is out of range (limit {limit})"),
+            help: format!("local {kind} indices must be below {limit}"),
+        });
+    }
+}
+
+/// Layout legality for one IB (`ISA03`): resource pressure within the
+/// array, input rows and register preloads in range and unaliased, and
+/// kernel output rows pointing into real arrays.
+fn check_layout(kernel: &CompiledKernel, i: usize, out: &mut Vec<Diagnostic>) {
+    let ib = &kernel.ibs[i];
+    if ib.peak_rows > ARRAY_ROWS {
+        out.push(Diagnostic {
+            rule: "ISA03",
+            severity: Severity::Error,
+            ib: Some(i),
+            pc: None,
+            node: None,
+            message: format!(
+                "peak row occupancy {} exceeds the {ARRAY_ROWS}-row array",
+                ib.peak_rows
+            ),
+            help: "split the module into more IBs or free rows earlier".into(),
+        });
+    }
+    if ib.peak_regs > NUM_REGISTERS {
+        out.push(Diagnostic {
+            rule: "ISA03",
+            severity: Severity::Error,
+            ib: Some(i),
+            pc: None,
+            node: None,
+            message: format!(
+                "peak register occupancy {} exceeds the {NUM_REGISTERS}-register file",
+                ib.peak_regs
+            ),
+            help: "reduce simultaneously live register operands".into(),
+        });
+    }
+    let mut seen_rows: HashMap<u8, usize> = HashMap::new();
+    for (idx, (row, binding)) in ib.input_rows.iter().enumerate() {
+        if usize::from(*row) >= ARRAY_ROWS {
+            out.push(Diagnostic {
+                rule: "ISA03",
+                severity: Severity::Error,
+                ib: Some(i),
+                pc: None,
+                node: None,
+                message: format!("input binding {binding:?} targets out-of-range row {row}"),
+                help: format!("input rows must be below {ARRAY_ROWS}"),
+            });
+        }
+        if let Some(prev) = seen_rows.insert(*row, idx) {
+            out.push(Diagnostic {
+                rule: "ISA03",
+                severity: Severity::Error,
+                ib: Some(i),
+                pc: None,
+                node: None,
+                message: format!(
+                    "input bindings {prev} and {idx} both load row {row}; the second overwrites the first"
+                ),
+                help: "each runtime-filled row must have exactly one binding".into(),
+            });
+        }
+    }
+    for (reg, binding) in &ib.reg_preloads {
+        if usize::from(*reg) >= NUM_REGISTERS {
+            out.push(Diagnostic {
+                rule: "ISA03",
+                severity: Severity::Error,
+                ib: Some(i),
+                pc: None,
+                node: None,
+                message: format!(
+                    "register preload {binding:?} targets out-of-range register {reg}"
+                ),
+                help: format!("registers must be below {NUM_REGISTERS}"),
+            });
+        }
+    }
+    if i == 0 {
+        for output in &kernel.outputs {
+            for loc in &output.locs {
+                if let OutputLoc::Row { ib: out_ib, row } = *loc {
+                    if out_ib >= kernel.ibs.len() || usize::from(row) >= ARRAY_ROWS {
+                        out.push(Diagnostic {
+                            rule: "ISA03",
+                            severity: Severity::Error,
+                            ib: Some(out_ib),
+                            pc: None,
+                            node: Some(output.node),
+                            message: format!(
+                                "output of {:?} claims ib{out_ib} row {row}, outside the kernel layout",
+                                output.node
+                            ),
+                            help: "output locations must name an existing IB and an in-range row".into(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

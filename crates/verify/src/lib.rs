@@ -1,0 +1,264 @@
+//! # imp-verify — static analysis over compiled IMP kernels
+//!
+//! The paper's fixed-point pipeline is only correct "provided
+//! overflow/underflow does not happen" (§2.3), and its BUG scheduler
+//! assumes placements and cross-IB transfers are legal by construction.
+//! This crate closes the gap: a post-assembly verification pass over
+//! [`CompiledKernel`] that checks every invariant the simulator would
+//! otherwise discover (or silently violate) at runtime, and reports
+//! structured [`Diagnostic`]s with rule ids, `ib`/`pc` locations and
+//! provenance back to the originating DFG node.
+//!
+//! ## Rule catalog
+//!
+//! | id | severity | invariant |
+//! |---|---|---|
+//! | `ISA01` | error | every local operand address is in range (rows < 128, registers < 128) |
+//! | `ISA02` | error | every global address is well formed: `movg` src names a row of its own IB, dst a placed IB or an output slot; `reduce_sum` targets a declared reduction slot |
+//! | `ISA03` | error | layout fits the array: peak rows/registers ≤ 128, input rows and register preloads in range and unaliased, output rows in range |
+//! | `ISA04` | warning | a `lut` instruction reads a programmed (non-zero) table |
+//! | `DF01` | error | def-before-use: every row/register read is written earlier in program order, preloaded, or delivered by an incoming `movg` |
+//! | `DF02` | warning | no dead writes: every written slot is read before being overwritten, or is live-out |
+//! | `DF03` | error | every recorded cross-IB dependence points at a real `movg` in the producer IB that targets this IB |
+//! | `DF04` | error | every read of a `movg`-delivered row is preceded by an instruction carrying that arrival dependence |
+//! | `SCH01` | error | IB placements are pairwise disjoint |
+//! | `SCH02` | error | no IB is placed on a retired or out-of-range array |
+//! | `SCH03` | error | the timetable respects program order, `transfer_latency` between producer and consumer, and per-instruction `occupancy` |
+//! | `SCH04` | error | the timetable covers every instruction of every IB exactly once |
+//! | `OVF01` | warning | interval analysis extended through lowering proves no intermediate value leaves the kernel's fixed-point format |
+//!
+//! Entry points: [`verify_kernel`] for a freshly compiled kernel (checks
+//! against its own schedule), [`verify_with`] for a re-scheduled kernel
+//! (the runtime's fault-remap path).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dataflow;
+mod isa_rules;
+mod overflow;
+mod sched;
+
+use imp_compiler::schedule::Schedule;
+use imp_compiler::{ArrayAvailability, CompiledKernel};
+use imp_dfg::NodeId;
+use imp_telemetry::Telemetry;
+use std::fmt;
+
+/// How strictly the pipeline treats verification findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyLevel {
+    /// Skip verification entirely.
+    Off,
+    /// Run verification and record diagnostics (telemetry / logs), but
+    /// never fail the pipeline.
+    #[default]
+    Warn,
+    /// Fail the pipeline on any error-severity diagnostic.
+    Deny,
+}
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A smell or precision risk; execution is still well defined.
+    Warning,
+    /// An invariant violation: executing the kernel is unsound.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One verification finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Rule id from the catalog (`ISA01` … `OVF01`).
+    pub rule: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Instruction block the finding is in, when localized.
+    pub ib: Option<usize>,
+    /// Instruction index within the block, when localized.
+    pub pc: Option<usize>,
+    /// Originating DFG node, when provenance reaches back that far.
+    pub node: Option<NodeId>,
+    /// What is wrong.
+    pub message: String,
+    /// Suggested fix or next step.
+    pub help: String,
+}
+
+impl Diagnostic {
+    /// Compact single-line location prefix (`ib2/pc14` style).
+    fn location(&self) -> String {
+        match (self.ib, self.pc) {
+            (Some(ib), Some(pc)) => format!("ib{ib}/pc{pc}"),
+            (Some(ib), None) => format!("ib{ib}"),
+            _ => "kernel".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity,
+            self.rule,
+            self.location(),
+            self.message
+        )?;
+        if let Some(node) = self.node {
+            write!(f, " (from {node:?})")?;
+        }
+        if !self.help.is_empty() {
+            write!(f, "\n  help: {}", self.help)?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of one verification pass.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VerifyReport {
+    /// All findings, sorted by (ib, pc, rule).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl VerifyReport {
+    /// Whether no diagnostic of any severity was produced.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Error-severity diagnostics (the ones `VerifyLevel::Deny` rejects).
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether the kernel passes at `Deny` level (no errors; warnings
+    /// are allowed).
+    pub fn passes_deny(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// Renders every diagnostic, one block per finding.
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{d}");
+        }
+        out
+    }
+
+    /// Records this pass into `telemetry`: one `verify.runs`, aggregate
+    /// diagnostic/error counts, and a per-rule hit counter.
+    pub fn record(&self, telemetry: &Telemetry) {
+        telemetry.counter_add("verify.runs", 1);
+        if !self.diagnostics.is_empty() {
+            telemetry.counter_add("verify.diagnostics", self.diagnostics.len() as u64);
+        }
+        let errors = self.errors().count();
+        if errors > 0 {
+            telemetry.counter_add("verify.errors", errors as u64);
+        }
+        for d in &self.diagnostics {
+            telemetry.counter_add(rule_counter_key(d.rule), 1);
+        }
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "verify: clean");
+        }
+        let errors = self.errors().count();
+        write!(
+            f,
+            "verify: {} diagnostic(s), {} error(s)",
+            self.diagnostics.len(),
+            errors
+        )?;
+        for d in &self.diagnostics {
+            write!(f, "\n  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyReport {}
+
+/// The telemetry counter name for a rule id. Counter names must be
+/// `&'static str`, so the mapping is a closed table over the catalog.
+pub fn rule_counter_key(rule: &str) -> &'static str {
+    match rule {
+        "ISA01" => "verify.rule.ISA01",
+        "ISA02" => "verify.rule.ISA02",
+        "ISA03" => "verify.rule.ISA03",
+        "ISA04" => "verify.rule.ISA04",
+        "DF01" => "verify.rule.DF01",
+        "DF02" => "verify.rule.DF02",
+        "DF03" => "verify.rule.DF03",
+        "DF04" => "verify.rule.DF04",
+        "SCH01" => "verify.rule.SCH01",
+        "SCH02" => "verify.rule.SCH02",
+        "SCH03" => "verify.rule.SCH03",
+        "SCH04" => "verify.rule.SCH04",
+        "OVF01" => "verify.rule.OVF01",
+        _ => "verify.rule.other",
+    }
+}
+
+/// Verifies a kernel against its own compiled-in schedule.
+///
+/// Array availability is taken to be exactly the slots the schedule
+/// placed onto (so retired-array checks are vacuous here; use
+/// [`verify_with`] to check a re-scheduled kernel against the real chip
+/// availability).
+pub fn verify_kernel(kernel: &CompiledKernel) -> VerifyReport {
+    let max_slot = kernel
+        .schedule
+        .placements
+        .iter()
+        .map(|p| p.cluster * 8 + p.array + 1)
+        .max()
+        .unwrap_or(0);
+    let avail = ArrayAvailability::all(max_slot.max(kernel.ibs.len()));
+    verify_with(kernel, &kernel.schedule, &avail)
+}
+
+/// Verifies a kernel against an explicit schedule and array
+/// availability — the runtime's post-`reschedule` remap path, or a
+/// chip-capacity-aware front-end check.
+pub fn verify_with(
+    kernel: &CompiledKernel,
+    schedule: &Schedule,
+    avail: &ArrayAvailability,
+) -> VerifyReport {
+    let mut diagnostics = Vec::new();
+    isa_rules::check(kernel, &mut diagnostics);
+    dataflow::check(kernel, &mut diagnostics);
+    sched::check(kernel, schedule, avail, &mut diagnostics);
+    overflow::check(kernel, &mut diagnostics);
+    diagnostics.sort_by_key(|d| (d.ib, d.pc, d.rule, d.severity));
+    VerifyReport { diagnostics }
+}
+
+/// Looks up the DFG node an instruction descends from, through the
+/// per-instruction scalar provenance recorded by the lowering pass.
+pub(crate) fn origin_node(kernel: &CompiledKernel, ib: usize, pc: usize) -> Option<NodeId> {
+    let scalar = (*kernel.ibs.get(ib)?.provenance.get(pc)?)?;
+    *kernel.module.origin.get(scalar.0)?
+}

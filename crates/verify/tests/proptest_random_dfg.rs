@@ -1,0 +1,71 @@
+//! Property test: every kernel the compiler produces from a random
+//! valid DFG verifies clean at `Deny` level.
+//!
+//! Graphs are built from a random op sequence over a pool of live
+//! values, mirroring the shapes the workloads corpus uses (instance
+//! vectors combined elementwise, then optionally reduced). Division is
+//! arranged to have a positive divisor range so graphs stay valid —
+//! zero-spanning divisors are the compiler's (and `ZeroSpanDivisor`'s)
+//! concern, not the verifier's.
+
+use imp_compiler::{CompileOptions, OptPolicy};
+use imp_dfg::range::Interval;
+use imp_dfg::{GraphBuilder, Shape};
+use imp_verify::verify_kernel;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_valid_dfgs_verify_clean(
+        ops in prop::collection::vec(0usize..6, 1..12),
+        policy_idx in 0usize..3,
+        reduce in any::<bool>(),
+    ) {
+        let n = 16usize;
+        let mut b = GraphBuilder::new();
+        let x = b.placeholder("x", Shape::vector(n)).unwrap();
+        let y = b.placeholder("y", Shape::vector(n)).unwrap();
+        let mut ranges: HashMap<String, Interval> = HashMap::new();
+        ranges.insert("x".into(), Interval::new(-2.0, 2.0));
+        ranges.insert("y".into(), Interval::new(0.5, 3.0));
+
+        let mut pool = vec![x, y];
+        for (step, op) in ops.iter().enumerate() {
+            let a = pool[step % pool.len()];
+            let c = pool[(step + 1) % pool.len()];
+            let next = match op {
+                0 => b.add(a, c).unwrap(),
+                1 => b.sub(a, c).unwrap(),
+                2 => b.mul(a, c).unwrap(),
+                // Keep divisors away from zero by always dividing by a
+                // value derived from `y`'s positive range.
+                3 => b.div(a, y).unwrap(),
+                4 => b.abs(a).unwrap(),
+                _ => b.sigmoid(a).unwrap(),
+            };
+            pool.push(next);
+        }
+        let last = *pool.last().unwrap();
+        let fetched = if reduce { b.sum(last, 0).unwrap() } else { last };
+        b.fetch(fetched);
+        let graph = b.finish();
+
+        let policy = [OptPolicy::MaxDlp, OptPolicy::MaxIlp, OptPolicy::MaxArrayUtil][policy_idx];
+        let options = CompileOptions {
+            policy,
+            expected_instances: n,
+            ranges,
+            ..Default::default()
+        };
+        let kernel = imp_compiler::compile(&graph, &options).unwrap();
+        let report = verify_kernel(&kernel);
+        prop_assert!(
+            report.passes_deny(),
+            "random DFG (ops {ops:?}, {policy:?}, reduce {reduce}) fails Deny:\n{}",
+            report.render()
+        );
+    }
+}

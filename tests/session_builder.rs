@@ -116,6 +116,41 @@ fn builder_telemetry_unifies_compile_and_run_instrumentation() {
     assert!(!report.ib_profiles.is_empty());
 }
 
+/// The builder verifies the compiled kernel at its configured level:
+/// `Warn` (the default) records findings in telemetry and proceeds,
+/// `Deny` must accept every kernel the compiler produces from a valid
+/// graph, and `Off` skips the verifier entirely.
+#[test]
+fn builder_verification_levels() {
+    // Default is Warn, and a telemetry-instrumented build records the
+    // verifier's run.
+    let telemetry = Telemetry::new();
+    let (graph, _) = square_graph(16);
+    let builder = Session::builder(graph).telemetry(telemetry.clone());
+    assert_eq!(builder.peek_sim_config().verify, VerifyLevel::Warn);
+    let _session = builder.build().unwrap();
+    let report = telemetry.snapshot();
+    assert_eq!(report.counters["verify.runs"], 1);
+    assert!(!report.counters.contains_key("verify.errors"));
+
+    // Deny accepts compiler-produced kernels.
+    let (graph, _) = square_graph(16);
+    Session::builder(graph)
+        .verify(VerifyLevel::Deny)
+        .build()
+        .expect("compiled kernels pass Deny-level verification");
+
+    // Off leaves no telemetry trace.
+    let telemetry = Telemetry::new();
+    let (graph, _) = square_graph(16);
+    Session::builder(graph)
+        .verify(VerifyLevel::Off)
+        .telemetry(telemetry.clone())
+        .build()
+        .unwrap();
+    assert!(!telemetry.snapshot().counters.contains_key("verify.runs"));
+}
+
 /// `by_name` resolves explicit `fetch_as` names and implicit
 /// placeholder/variable names; unknown and ambiguous names are typed
 /// errors.
